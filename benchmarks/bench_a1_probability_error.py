@@ -1,0 +1,57 @@
+"""A1 — Algorithm 1 / Lemma 2: fixed-point flooding error.
+
+Measured max-node error of p̃_t against the exact p_t, vs the Lemma 2 bound
+t·n^{-c}; plus the CONGEST message width ⌈c·log₂ n⌉+1 against the per-edge
+budget.
+"""
+
+import numpy as np
+
+from repro.algorithms import FloodingEstimator
+from repro.congest import CongestNetwork, fixed_point_bits
+from repro.graphs import generators as gen
+from repro.utils import format_table
+from repro.walks import distribution_at
+
+
+def run_all():
+    rows = []
+    cases = [
+        ("barbell(4,16)", gen.beta_barbell(4, 16)),
+        ("rr(64,8)", gen.random_regular(64, 8, seed=1)),
+        ("cycle(65)", gen.cycle_graph(65)),
+    ]
+    for c in (4, 6):
+        for name, g in cases:
+            net = CongestNetwork(g)
+            est = FloodingEstimator(net, 0, c=c)
+            worst_ratio = 0.0
+            t_report = (1, 8, 32)
+            errs = {}
+            for t in range(1, 33):
+                p_tilde = est.step(1)
+                if t in t_report:
+                    p = distribution_at(g, 0, t)
+                    err = float(np.abs(p_tilde - p).max())
+                    bound = t * float(g.n) ** (-c)
+                    errs[t] = (err, bound)
+                    worst_ratio = max(worst_ratio, err / bound if bound else 0)
+            for t, (err, bound) in errs.items():
+                rows.append(
+                    [name, g.n, c, t, err, bound, err <= bound,
+                     fixed_point_bits(g.n, c), net.bandwidth_bits]
+                )
+    return rows
+
+
+def test_a1_lemma2_error(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    assert all(r[6] for r in rows), "Lemma 2 bound must hold everywhere"
+    assert all(r[7] <= r[8] for r in rows), "messages must fit CONGEST budget"
+    table = format_table(
+        ["graph", "n", "c", "t", "max_err", "bound t*n^-c", "holds",
+         "msg_bits", "budget_bits"],
+        rows,
+        title="A1: Algorithm 1 rounding error vs Lemma 2 bound",
+    )
+    record_table("a1_probability_error", table)

@@ -1,0 +1,68 @@
+"""A2 — Theorem 1: Algorithm 2's output quality and round complexity.
+
+Per instance: the distributed output ℓ vs the centralized grid-exact
+stopping time (2-approximation band), measured CONGEST rounds vs the
+τ·log²n·log_{1+ε}β bound (ratio should be a stable constant across the
+sweep), and the per-phase ledger (the three cost terms of the proof).
+"""
+
+from repro.algorithms import local_mixing_time_congest
+from repro.analysis import theorem1_round_bound
+from repro.congest import CongestNetwork
+from repro.constants import DEFAULT_EPS
+from repro.graphs import generators as gen
+from repro.utils import format_table
+from repro.walks import local_mixing_time
+
+
+CASES = [
+    ("barbell", lambda: gen.beta_barbell(4, 16), 4),
+    ("barbell", lambda: gen.beta_barbell(8, 16), 8),
+    ("barbell", lambda: gen.beta_barbell(16, 16), 16),
+    ("expchain", lambda: gen.clique_chain_of_expanders(4, 32, d=8, seed=2), 4),
+    ("expander", lambda: gen.random_regular(128, 8, seed=3), 2),
+]
+
+
+def run_all():
+    rows = []
+    for name, maker, beta in CASES:
+        g = maker()
+        net = CongestNetwork(g)
+        res = local_mixing_time_congest(net, 0, beta=beta, seed=17)
+        grid_exact = local_mixing_time(
+            g, 0, beta=beta, sizes="grid", threshold_factor=4.0,
+            t_schedule="all",
+        ).time
+        bound = theorem1_round_bound(res.time, g.n, DEFAULT_EPS, beta)
+        rows.append(
+            [
+                name,
+                g.n,
+                beta,
+                grid_exact,
+                res.time,
+                res.time / max(grid_exact, 1),
+                res.rounds,
+                round(bound),
+                res.rounds / bound,
+                res.ledger.phase_rounds("bfs"),
+                res.ledger.phase_rounds("flooding"),
+                res.ledger.phase_rounds("ksearch"),
+            ]
+        )
+    return rows
+
+
+def test_a2_theorem1(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        assert r[5] <= 2.0 + 1e-9, "output within 2x of grid-exact time"
+        assert r[8] <= 8.0, "rounds within a constant of the Theorem 1 bound"
+    table = format_table(
+        ["graph", "n", "beta", "grid_exact", "alg2_out", "approx",
+         "rounds", "thm1_bound", "ratio", "bfs_r", "flood_r", "search_r"],
+        rows,
+        title="A2: Theorem 1 — Algorithm 2 output (2-approx) and round ledger",
+    )
+    record_table("a2_theorem1_rounds", table)

@@ -1,0 +1,61 @@
+"""A3 — Theorem 2: the exact algorithm (§3.2).
+
+Output must equal the centralized grid-exact stopping time exactly; rounds
+vs the τ·D̃·log n·log_{1+ε}β bound, with the footnote-8 BFS-reuse variant
+compared side by side.
+"""
+
+from repro.algorithms import exact_local_mixing_time_congest
+from repro.analysis import theorem2_round_bound
+from repro.congest import CongestNetwork
+from repro.constants import DEFAULT_EPS
+from repro.graphs import generators as gen
+from repro.graphs.properties import diameter
+from repro.utils import format_table
+from repro.walks import local_mixing_time
+
+
+CASES = [
+    ("barbell", lambda: gen.beta_barbell(4, 16), 4),
+    ("barbell", lambda: gen.beta_barbell(8, 8), 8),
+    ("expchain", lambda: gen.clique_chain_of_expanders(4, 16, d=8, seed=5), 4),
+    ("expander", lambda: gen.random_regular(64, 8, seed=6), 2),
+]
+
+
+def run_all():
+    rows = []
+    for name, maker, beta in CASES:
+        g = maker()
+        res = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=beta, seed=23
+        )
+        reused = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=beta, seed=23, reuse_bfs=True
+        )
+        cen = local_mixing_time(
+            g, 0, beta=beta, sizes="grid", threshold_factor=4.0,
+            t_schedule="all",
+        ).time
+        d = diameter(g)
+        d_tilde = min(res.time, d)
+        bound = theorem2_round_bound(res.time, d_tilde, g.n, DEFAULT_EPS, beta)
+        rows.append(
+            [name, g.n, beta, d, cen, res.time, res.rounds, reused.rounds,
+             round(bound), res.rounds / bound]
+        )
+    return rows
+
+
+def test_a3_theorem2(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        assert r[4] == r[5], "exact algorithm must match centralized value"
+        assert r[9] <= 8.0, "rounds within a constant of the Theorem 2 bound"
+    table = format_table(
+        ["graph", "n", "beta", "D", "centralized", "exact_alg", "rounds",
+         "rounds(bfs_reuse)", "thm2_bound", "ratio"],
+        rows,
+        title="A3: Theorem 2 — exact local mixing time and round ledger",
+    )
+    record_table("a3_theorem2_rounds", table)

@@ -1,0 +1,73 @@
+"""AB3 — ablation: §3.1's design choice — binary search vs naive upcast.
+
+The paper rejects upcast because congestion makes it Ω(n) on deep trees.
+The ablation measures both costs for the same k-smallest-sum query across
+tree shapes: on deep trees (path) the binary search's O(height·log) beats
+the upcast's O(height + size) only when size ≫ height·log — the crossover
+the paper's remark is about; on shallow trees the naive version can win.
+"""
+
+import numpy as np
+
+from repro.congest import (
+    CongestNetwork,
+    build_bfs_tree,
+    k_smallest_sum,
+    k_smallest_sum_upcast,
+)
+from repro.graphs import generators as gen
+from repro.utils import format_table
+
+
+def run_all():
+    rng = np.random.default_rng(3)
+    rows = []
+    cases = [
+        ("path(64)", gen.path_graph(64), 0),
+        ("path(256)", gen.path_graph(256), 0),
+        ("barbell(4,16)", gen.beta_barbell(4, 16), 0),
+        ("expander(256)", gen.random_regular(256, 8, seed=4), 0),
+        ("star-ish K1,127", gen.star_graph(128), 0),
+    ]
+    for name, g, src in cases:
+        vals = rng.random(g.n)
+        k = max(g.n // 4, 1)
+
+        net_a = CongestNetwork(g)
+        tree_a = build_bfs_tree(net_a, src)
+        net_a.reset_ledger()
+        k_smallest_sum_upcast(net_a, tree_a, vals, k, 16)
+        naive_rounds = net_a.ledger.rounds
+
+        net_b = CongestNetwork(g)
+        tree_b = build_bfs_tree(net_b, src)
+        net_b.reset_ledger()
+        res = k_smallest_sum(net_b, tree_b, vals, k, seed=6)
+        search_rounds = net_b.ledger.rounds
+
+        rows.append(
+            [name, g.n, tree_a.height, k, naive_rounds, search_rounds,
+             res.iterations,
+             "search" if search_rounds < naive_rounds else "upcast"]
+        )
+    return rows
+
+
+def test_ab3_upcast_vs_bsearch(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    by_name = {r[0]: r for r in rows}
+    # On the bushy expander and the star, upcast is linear in n while the
+    # search pays height * probes — the search should win on the expander
+    # (big n, tiny height-but-log probes)… measure, don't assume; assert
+    # only the paper's directional claim on the star (height 1-2, n large):
+    assert by_name["expander(256)"][7] == "search"
+    assert by_name["star-ish K1,127"][7] == "search"
+    # …and loses on deep trees, where each probe repays the whole depth.
+    assert by_name["path(256)"][7] == "upcast"
+    table = format_table(
+        ["graph", "n", "tree height", "k", "upcast rounds",
+         "bsearch rounds", "probes", "winner"],
+        rows,
+        title="AB3: naive upcast vs Section 3.1 binary search (same query)",
+    )
+    record_table("ab3_upcast_vs_bsearch", table)

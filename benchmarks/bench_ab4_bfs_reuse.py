@@ -1,0 +1,54 @@
+"""AB4 — ablation: footnote 8 (BFS reuse) in the exact algorithm.
+
+The paper's footnote 8 proposes building one full-depth BFS tree up front
+instead of one per iteration "to simplify the algorithm", at an extra O(D)
+additive cost.  The measurement shows the real trade-off is sharper: with
+per-iteration trees every aggregation runs over a radius-ℓ tree (height
+≤ ℓ), so when τ ≪ D the rebuilt shallow trees are *much* cheaper than
+aggregating over the full-depth tree every iteration.
+"""
+
+from repro.algorithms import exact_local_mixing_time_congest
+from repro.congest import CongestNetwork
+from repro.graphs import generators as gen
+from repro.graphs.properties import diameter
+from repro.utils import format_table
+
+
+def run_all():
+    rows = []
+    cases = [
+        ("barbell(4,16)", gen.beta_barbell(4, 16), 4),   # tau << D
+        ("barbell(8,8)", gen.beta_barbell(8, 8), 8),     # tau << D
+        ("expander(64)", gen.random_regular(64, 8, seed=6), 2),  # tau ~ D
+    ]
+    for name, g, beta in cases:
+        a = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=beta, seed=9
+        )
+        b = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=beta, seed=9, reuse_bfs=True
+        )
+        rows.append(
+            [name, g.n, diameter(g), a.time, a.rounds, b.rounds,
+             round(b.rounds / max(a.rounds, 1), 2)]
+        )
+    return rows
+
+
+def test_ab4_bfs_reuse(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        tau, d = r[3], r[2]
+        if tau * 2 < d:
+            assert r[5] > r[4], (
+                "full-depth reuse must lose when tau << D (aggregations pay "
+                "the whole diameter)"
+            )
+    table = format_table(
+        ["graph", "n", "D", "tau", "rounds (rebuild)", "rounds (reuse)",
+         "reuse/rebuild"],
+        rows,
+        title="AB4: footnote 8 — per-iteration BFS vs one full-depth tree",
+    )
+    record_table("ab4_bfs_reuse", table)

@@ -1,0 +1,74 @@
+"""C1 — baseline comparison (the paper's §1/§1.2 motivation).
+
+On graphs where τ_local ≪ τ_mix, Algorithm 2 finishes in far fewer rounds
+than *any* mixing-time estimator has to spend, because the latter must run
+walks of length ~τ_mix:
+
+* Algorithm 2 (this paper)      — O(τ_local·log²n·log β) rounds;
+* Molla–Pandurangan ICDCN'17    — O(τ_mix·log n) rounds (token walks);
+* Das Sarma et al. JACM'13      — Õ(√n + n^{1/4}√(D·τ_mix)) (charged model);
+* Kempe–McSherry JCSS'08        — O(τ_mix·log²n) (charged model).
+"""
+
+from repro.algorithms import (
+    local_mixing_time_congest,
+    mixing_time_dassarma,
+    mixing_time_mp,
+    spectral_mixing_kempe,
+)
+from repro.congest import CongestNetwork
+from repro.constants import DEFAULT_EPS
+from repro.graphs import generators as gen
+from repro.utils import format_table
+from repro.walks import mixing_time
+
+
+def run_all():
+    rows = []
+    for beta, clique in ((4, 12), (8, 12)):
+        g = gen.beta_barbell(beta, clique)
+        tau_mix = mixing_time(g, 0, DEFAULT_EPS)
+
+        net = CongestNetwork(g)
+        alg2 = local_mixing_time_congest(net, 0, beta=beta, seed=31)
+
+        mp = mixing_time_mp(CongestNetwork(g), 0, seed=31)
+        ds = mixing_time_dassarma(g, 0, seed=31)
+        ke = spectral_mixing_kempe(g, DEFAULT_EPS, seed=31)
+
+        rows.append(
+            [
+                g.name,
+                g.n,
+                tau_mix,
+                alg2.time,
+                alg2.rounds,
+                mp.time,
+                mp.rounds,
+                ds.time,
+                ds.rounds_model,
+                round(ke.mixing_upper),
+                ke.rounds_model,
+            ]
+        )
+    return rows
+
+
+def test_c1_baselines(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        alg2_rounds, mp_rounds, kempe_rounds = r[4], r[6], r[10]
+        # the motivation claim: computing the LOCAL quantity is much
+        # cheaper than any global mixing estimation on these graphs
+        assert alg2_rounds < mp_rounds
+        assert alg2_rounds < kempe_rounds
+    table = format_table(
+        ["graph", "n", "tau_mix", "alg2 out", "alg2 rounds", "MP est",
+         "MP rounds", "DS est", "DS rounds*", "KM tau_up", "KM rounds*"],
+        rows,
+        title=(
+            "C1: baselines — rounds to estimate local vs global mixing "
+            "(*: charged from published formulas, DESIGN.md §5)"
+        ),
+    )
+    record_table("c1_baselines", table)

@@ -1,0 +1,47 @@
+"""F1 — Figure 1: the β-barbell graph.
+
+Regenerates the figure's object structurally: β equal-sized cliques chained
+by bridge edges, with the properties table (n, m, degree profile, diameter
+= Θ(β)) that the figure caption implies.
+"""
+
+import numpy as np
+
+from repro.graphs import beta_barbell
+from repro.graphs.properties import degree_histogram, diameter
+from repro.utils import format_table
+
+
+def build_rows():
+    rows = []
+    for beta in (2, 4, 8, 16):
+        for k in (8, 16):
+            g = beta_barbell(beta, k)
+            rows.append(
+                [
+                    beta,
+                    k,
+                    g.n,
+                    g.m,
+                    beta * k * (k - 1) // 2 + (beta - 1),
+                    int(g.degrees.min()),
+                    int(g.degrees.max()),
+                    diameter(g),
+                    2 * beta - 1,  # exact: 1 intra-hop per clique + bridges
+                ]
+            )
+    return rows
+
+
+def test_f1_barbell_structure(benchmark, record_table):
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    for r in rows:
+        assert r[3] == r[4], "edge count must match the closed form"
+        assert r[7] == r[8], "barbell diameter is exactly 2*beta - 1"
+    table = format_table(
+        ["beta", "clique", "n", "m", "m_formula", "deg_min", "deg_max",
+         "diameter", "diam_exact(2b-1)"],
+        rows,
+        title="F1: beta-barbell (Figure 1) structure — path of beta cliques",
+    )
+    record_table("f1_barbell_structure", table)

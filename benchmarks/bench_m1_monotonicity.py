@@ -1,0 +1,58 @@
+"""M1 — Lemma 1 vs the §3 non-monotonicity remark.
+
+The global distance ‖p_t − π‖₁ is non-increasing (Lemma 1); the *restricted*
+best local deviation min_R min_S Σ|p_t − 1/R| is **not** monotone — the
+concrete reason Algorithm 2 doubles ℓ instead of binary-searching it.
+"""
+
+import numpy as np
+
+from repro.constants import DEFAULT_EPS
+from repro.graphs import generators as gen
+from repro.spectral import stationary_distribution
+from repro.utils import format_table
+from repro.walks import distribution_trajectory, l1_distance
+from repro.walks.local_mixing import local_mixing_profile
+
+
+def run_all():
+    g = gen.beta_barbell(4, 16)
+    t_max = 64
+    pi = stationary_distribution(g)
+    global_dist = [
+        l1_distance(p, pi)
+        for _, p in distribution_trajectory(g, 0, t_max=t_max)
+    ]
+    local_best = local_mixing_profile(g, 0, beta=4, sizes="grid", t_max=t_max)
+
+    global_viol = sum(
+        1 for a, b in zip(global_dist, global_dist[1:]) if b > a + 1e-12
+    )
+    local_incr = [
+        (t, float(local_best[t]), float(local_best[t + 1]))
+        for t in range(t_max)
+        if local_best[t + 1] > local_best[t] + 1e-9
+    ]
+    rows = [
+        ["global ||p_t - pi||", global_viol, "0 (Lemma 1)", global_viol == 0],
+        ["local best deviation", len(local_incr),
+         ">= 1 (non-monotone)", len(local_incr) >= 1],
+    ]
+    witness = local_incr[0] if local_incr else None
+    return rows, witness
+
+
+def test_m1_monotonicity(benchmark, record_table):
+    rows, witness = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    assert rows[0][3], "Lemma 1 must hold for the global distance"
+    assert rows[1][3], "restricted deviation must exhibit an increase"
+    title = "M1: monotone global distance vs non-monotone local deviation"
+    if witness:
+        t, a, b = witness
+        title += f" (witness: t={t}: {a:.4f} -> {b:.4f})"
+    table = format_table(
+        ["quantity", "#increases (64 steps)", "expected", "ok"],
+        rows,
+        title=title,
+    )
+    record_table("m1_monotonicity", table)

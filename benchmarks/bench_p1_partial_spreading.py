@@ -1,0 +1,67 @@
+"""P1 — Theorem 3: push–pull partial information spreading.
+
+Empirical hitting rounds for (δ,β)-partial spreading vs the τ(β,ε)·ln n
+bound, the success probability at the Theorem 3 horizon, and the
+weak-conductance bound (log n + log 1/δ)/Φ_β on the barbell where Φ_β has
+a closed form.
+"""
+
+import math
+
+from repro.analysis import theorem3_round_bound
+from repro.constants import DEFAULT_EPS
+from repro.gossip import (
+    rounds_to_partial_spreading,
+    spreading_success_probability,
+)
+from repro.graphs import generators as gen
+from repro.spectral import barbell_weak_conductance
+from repro.utils import format_table
+from repro.walks import local_mixing_time
+
+
+def run_all():
+    rows = []
+    cases = [
+        ("barbell(4,16)", gen.beta_barbell(4, 16), 4, 16),
+        ("barbell(8,16)", gen.beta_barbell(8, 16), 8, 16),
+        ("expander(128)", gen.random_regular(128, 8, seed=8), 4, None),
+    ]
+    for name, g, beta, clique in cases:
+        # τ(β,ε): sample sources (homogeneous families; paper §1 note)
+        tau = max(
+            local_mixing_time(g, s, beta=beta).time
+            for s in range(0, g.n, max(g.n // 8, 1))
+        )
+        bound = theorem3_round_bound(tau, g.n)
+        hits = [
+            rounds_to_partial_spreading(g, beta, seed=s) for s in range(5)
+        ]
+        horizon = math.ceil(3 * tau * math.log(g.n))
+        p_succ = spreading_success_probability(
+            g, beta, horizon, trials=20, seed=99
+        )
+        if clique is not None:
+            phi_b = barbell_weak_conductance(beta, clique)
+            wc_bound = math.log(g.n) * 2 / phi_b  # delta = 1/n
+        else:
+            wc_bound = float("nan")
+        rows.append(
+            [name, g.n, beta, tau, round(bound), min(hits), max(hits),
+             horizon, p_succ, wc_bound]
+        )
+    return rows
+
+
+def test_p1_partial_spreading(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        assert r[6] <= 4 * r[4] + 8, "hitting time within O(tau log n)"
+        assert r[8] >= 0.9, "Theorem 3 horizon succeeds whp"
+    table = format_table(
+        ["graph", "n", "beta", "tau_local", "thm3 bound", "hit_min",
+         "hit_max", "horizon(3tau ln n)", "success_prob", "weak-cond bound"],
+        rows,
+        title="P1: Theorem 3 — push-pull partial spreading vs tau(beta)*log n",
+    )
+    record_table("p1_partial_spreading", table)

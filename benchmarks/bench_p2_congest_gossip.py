@@ -1,0 +1,46 @@
+"""P2 — §4 footnote 10: the CONGEST variant of partial spreading.
+
+With per-exchange token caps the bound becomes Õ(τ + n/β): a cap of
+Θ(n/β / log n) tokens per exchange should leave the hitting time within a
+polylog factor of LOCAL, while cap = 1 stretches it toward Θ(n/β).
+"""
+
+import math
+
+from repro.gossip import rounds_to_partial_spreading
+from repro.graphs import generators as gen
+from repro.utils import format_table
+
+
+def run_all():
+    rows = []
+    for beta, clique in ((4, 16), (8, 16)):
+        g = gen.beta_barbell(beta, clique)
+        target = g.n // beta
+        local_rounds = rounds_to_partial_spreading(g, beta, seed=1)
+        capped_big = rounds_to_partial_spreading(
+            g, beta, seed=1, token_cap=max(target // 4, 1)
+        )
+        capped_one = rounds_to_partial_spreading(g, beta, seed=1, token_cap=1)
+        rows.append(
+            [g.name, g.n, beta, target, local_rounds, capped_big, capped_one]
+        )
+    return rows
+
+
+def test_p2_congest_gossip(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        n_over_beta = r[3]
+        assert r[6] >= n_over_beta / 4, (
+            "cap=1 forces Omega(n/beta)-ish rounds (each node needs n/beta "
+            "tokens, one per exchange)"
+        )
+        assert r[5] <= 8 * r[4] + 8, "generous cap stays near LOCAL cost"
+    table = format_table(
+        ["graph", "n", "beta", "n/beta", "LOCAL rounds",
+         "cap=n/4beta rounds", "cap=1 rounds"],
+        rows,
+        title="P2: CONGEST gossip (footnote 10) — token caps vs rounds",
+    )
+    record_table("p2_congest_gossip", table)

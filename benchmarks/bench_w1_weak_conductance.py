@@ -1,0 +1,32 @@
+"""W1 — the paper's open problem (§5): local mixing time vs weak conductance.
+
+Exploratory reproduction of the conjectured envelope
+``~1/Φ_β ≲ τ(β,ε) ≲ ~log n/Φ_β²`` on every family where Φ_β is computable.
+"""
+
+from repro.analysis.conjecture import weak_conductance_vs_local_mixing
+from repro.utils import format_table
+
+
+def test_w1_weak_conductance_conjecture(benchmark, record_table):
+    points = benchmark.pedantic(
+        weak_conductance_vs_local_mixing, iterations=1, rounds=1
+    )
+    rows = [
+        [p.graph, p.n, p.beta, p.phi_kind, round(p.phi_beta, 3), p.tau_local,
+         round(p.lower_env, 2), round(p.upper_env, 1), p.within_envelope]
+        for p in points
+    ]
+    assert all(p.within_envelope for p in points), (
+        "conjectured envelope violated — an interesting finding if real!"
+    )
+    table = format_table(
+        ["graph", "n", "beta", "phi kind", "phi_beta", "tau_local",
+         "1/phi", "log n/phi^2", "in envelope"],
+        rows,
+        title=(
+            "W1: open problem (paper §5) — tau(beta) vs weak conductance "
+            "(conjectured mixing-style envelope, constant 4)"
+        ),
+    )
+    record_table("w1_weak_conductance", table)

@@ -1,0 +1,51 @@
+"""X1 — §1 applications: maximum coverage, leader election, and the
+partial-vs-full spreading contrast."""
+
+import numpy as np
+
+from repro.gossip import (
+    distributed_max_coverage,
+    full_information_spreading,
+    leader_election,
+    rounds_to_partial_spreading,
+)
+from repro.graphs import generators as gen
+from repro.utils import format_table
+
+
+def run_all():
+    rng = np.random.default_rng(77)
+    rows = []
+    for name, g, beta in [
+        ("barbell(4,16)", gen.beta_barbell(4, 16), 4),
+        ("expander(64)", gen.random_regular(64, 8, seed=13), 4),
+    ]:
+        partial = rounds_to_partial_spreading(g, beta, seed=2)
+        full = full_information_spreading(g, seed=2).rounds
+        sets = [
+            set(rng.choice(200, size=12, replace=False).tolist())
+            for _ in range(g.n)
+        ]
+        cov = distributed_max_coverage(g, sets, k=5, rounds=3 * partial + 8, seed=3)
+        le = leader_election(g, seed=4)
+        rows.append(
+            [name, g.n, beta, partial, full, round(full / max(partial, 1), 1),
+             cov.ratio, le.rounds]
+        )
+    return rows
+
+
+def test_x1_applications(benchmark, record_table):
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    for r in rows:
+        assert r[4] >= r[3], "full spreading is never faster than partial"
+        assert r[6] >= 0.8, "coverage after partial spreading near-greedy"
+    # the bottlenecked barbell should show a bigger partial/full gap
+    assert rows[0][5] >= rows[1][5]
+    table = format_table(
+        ["graph", "n", "beta", "partial rounds", "full rounds", "full/partial",
+         "coverage ratio", "leader rounds"],
+        rows,
+        title="X1: applications — coverage, leader election, partial vs full",
+    )
+    record_table("x1_applications", table)

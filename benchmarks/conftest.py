@@ -1,0 +1,41 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark measures one experiment from DESIGN.md §3 and *prints the
+same rows EXPERIMENTS.md records*.  Because pytest captures stdout, tables
+are registered through the ``record_table`` fixture and echoed in the
+terminal summary (so they appear in ``bench_output.txt``); they are also
+written to ``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_TABLES: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Call ``record_table(name, text)`` to register an experiment table."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("experiment tables (EXPERIMENTS.md)")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    _TABLES.clear()

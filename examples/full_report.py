@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""End-to-end reproduction report: every headline claim, one command.
+
+Run:  python examples/full_report.py
+"""
+
+from repro.analysis.report import reproduction_report
+
+
+def main() -> None:
+    print(reproduction_report(seed=0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The local-mixing *spectrum*: how the mixing time varies with set size.
+
+Definition 2 fixes one β; the spectrum answers every β at once — for each
+set size R, the first time the walk is ε-mixed on its best size-R set.
+On the β-barbell the curve is a staircase: R up to the home-clique size
+mix almost immediately, then nothing mixes until sizes near n (global
+equilibrium) — a direct visualization of why τ_s(β,ε) ≪ τ_s^mix.
+
+Run:  python examples/mixing_spectrum.py
+"""
+
+import math
+
+from repro import beta_barbell, mixing_time, DEFAULT_EPS
+from repro.walks import local_mixing_spectrum
+from repro.utils import format_table
+
+
+def main() -> None:
+    g = beta_barbell(4, 16)
+    print(f"graph: {g.name} (n={g.n})\n")
+    spec = local_mixing_spectrum(g, source=0, t_max=4000)
+    tau_mix = mixing_time(g, 0, DEFAULT_EPS)
+
+    rows = []
+    for R in sorted(spec):
+        t = spec[R]
+        beta_equiv = g.n / R
+        bar = "#" * min(60, int(math.log2(t + 1) * 6)) if t != math.inf else "(never)"
+        rows.append([R, f"{beta_equiv:.1f}", t if t != math.inf else "inf", bar])
+    print(format_table(
+        ["set size R", "beta = n/R", "first eps-mixed t", "log-scale bar"],
+        rows,
+        title=f"local mixing spectrum from node 0 (tau_mix = {tau_mix})",
+    ))
+    print(
+        "\nreading: R = 15-16 (the home clique) mixes in 1-2 steps; all other"
+        "\nproper sizes never mix (the walk's mass is clique-quantized, so no"
+        "\nother set size matches a near-uniform profile); sizes near n mix"
+        f"\nonly at global equilibrium (~{tau_mix} steps).  tau_s(beta) is the"
+        "\nminimum over R >= n/beta — the staircase explains the O(1) vs"
+        "\nOmega(beta^2) gap in one picture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Theorem 3 in action: the local mixing time as a gossip termination rule.
+
+The paper's application: "push–pull achieves (δ,β)-partial information
+spreading in O(τ(β,ε)·log n) rounds" — and because Algorithm 2 *computes*
+τ(β,ε), the bound becomes a concrete stopping time, which the prior
+weak-conductance analysis could not provide.
+
+The demo: (1) compute τ(β,ε); (2) run push–pull for ⌈3·τ·ln n⌉ rounds;
+(3) verify every token reached ≥ n/β nodes and every node collected ≥ n/β
+tokens; (4) contrast with the much slower *full* spreading.
+
+Run:  python examples/partial_spreading_demo.py
+"""
+
+import math
+
+from repro import beta_barbell, local_mixing_time
+from repro.gossip import (
+    PushPullSimulator,
+    full_information_spreading,
+    partial_spreading_with_termination,
+)
+from repro.utils import format_table
+
+
+def main() -> None:
+    beta, clique = 4, 16
+    g = beta_barbell(beta, clique)
+    print(f"graph: {g.name} (n={g.n})")
+
+    # Step 1 — the termination parameter (sampling one source per clique;
+    # the family is homogeneous, see the paper's sampling remark in §1).
+    tau = max(
+        local_mixing_time(g, s, beta=beta).time
+        for s in range(0, g.n, clique)
+    )
+    print(f"tau(beta={beta}) = {tau}")
+
+    # Step 2+3 — run with the Theorem 3 horizon.
+    res = partial_spreading_with_termination(
+        g, beta, tau, horizon_constant=3.0, seed=7
+    )
+    print(f"\nran push-pull for {res.rounds} rounds "
+          f"(= ceil(3 * tau * ln n)); target n/beta = {res.target}")
+    print(f"  min token coverage   : {res.min_token_coverage}")
+    print(f"  min tokens per node  : {res.min_node_collection}")
+    print(f"  (delta,beta)-partial spreading achieved: {res.success}")
+
+    # Coverage curve: min coverage per round.
+    sim = PushPullSimulator(g, seed=7)
+    rows = []
+    for r in range(1, res.rounds + 1):
+        sim.step()
+        rows.append(
+            [r, int(sim.tokens.token_coverage().min()),
+             int(sim.tokens.node_counts().min())]
+        )
+        if rows[-1][1] >= res.target and rows[-1][2] >= res.target:
+            break
+    print()
+    print(format_table(
+        ["round", "min token coverage", "min tokens/node"],
+        rows,
+        title="coverage curve (stops when the Definition 3 predicate holds)",
+    ))
+
+    # Step 4 — the contrast with full spreading.
+    full = full_information_spreading(g, seed=7)
+    print(f"\nfull information spreading needs {full.rounds} rounds "
+          f"(vs {rows[-1][0]} for partial — the bottleneck dominates)")
+
+
+if __name__ == "__main__":
+    main()

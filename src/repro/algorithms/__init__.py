@@ -1,0 +1,52 @@
+"""The paper's distributed algorithms and the baselines it compares against.
+
+* :mod:`~repro.algorithms.estimate_rw_probability` — **Algorithm 1**,
+  deterministic flooding computation of the walk distribution with
+  ``n^{-c}`` fixed-point rounding (Lemma 2 error bound).
+* :mod:`~repro.algorithms.local_mixing_time` — **Algorithm 2**, the
+  2-approximation of the local mixing time (Theorem 1).
+* :mod:`~repro.algorithms.exact_local_mixing` — the §3.2 exact variant
+  (Theorem 2).
+* :mod:`~repro.algorithms.mixing_time_mp` — baseline: the Molla–Pandurangan
+  ICDCN'17 random-walk mixing-time estimator.
+* :mod:`~repro.algorithms.mixing_time_dassarma` — baseline: the Das Sarma
+  et al. sampling estimator (with its documented accuracy grey area).
+* :mod:`~repro.algorithms.spectral_kempe` — baseline: Kempe–McSherry
+  decentralized orthogonal iteration (λ₂-based mixing estimate).
+"""
+
+from repro.algorithms.estimate_rw_probability import (
+    FloodingEstimator,
+    estimate_rw_probability,
+)
+from repro.algorithms.local_mixing_time import (
+    CongestLocalMixingResult,
+    local_mixing_time_congest,
+)
+from repro.algorithms.exact_local_mixing import exact_local_mixing_time_congest
+from repro.algorithms.graph_local_mixing import (
+    GraphLocalMixingResult,
+    graph_local_mixing_time_congest,
+)
+from repro.algorithms.mixing_time_mp import MPMixingEstimate, mixing_time_mp
+from repro.algorithms.mixing_time_dassarma import (
+    DasSarmaEstimate,
+    mixing_time_dassarma,
+)
+from repro.algorithms.spectral_kempe import KempeEstimate, spectral_mixing_kempe
+
+__all__ = [
+    "FloodingEstimator",
+    "estimate_rw_probability",
+    "CongestLocalMixingResult",
+    "local_mixing_time_congest",
+    "exact_local_mixing_time_congest",
+    "GraphLocalMixingResult",
+    "graph_local_mixing_time_congest",
+    "MPMixingEstimate",
+    "mixing_time_mp",
+    "DasSarmaEstimate",
+    "mixing_time_dassarma",
+    "KempeEstimate",
+    "spectral_mixing_kempe",
+]

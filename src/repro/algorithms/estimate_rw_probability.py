@@ -1,0 +1,177 @@
+"""**Algorithm 1 — ESTIMATE-RW-PROBABILITY** (paper §2.4).
+
+Deterministic flooding computation of the walk distribution: starting from
+``w_0 = 1`` at the source, every round each node with ``w ≠ 0`` sends
+``w/d(u)`` to its neighbors; each node sums what it receives and rounds to
+the nearest multiple of ``n^{-c}``.  After ``ℓ`` rounds node ``u`` holds
+``p̃_ℓ(u)`` with ``|p̃_ℓ(u) − p_ℓ(u)| < ℓ·n^{-c}`` (Lemma 2).
+
+Messages carry one fixed-point value of ``⌈c·log₂ n⌉ + 1`` bits — the whole
+point of the rounding is to fit the CONGEST budget.
+
+Both layers:
+
+* **fast** — ``w ← rint(A·w·n^c)/n^c`` (one sparse matvec per round;
+  :mod:`scipy` CSR matvec accumulates neighbors in sorted order, the same
+  order the faithful program sums its inbox, so the two layers produce
+  bit-identical floats);
+* **faithful** — a per-node program through the engine.
+
+Precision note: values live on the ``n^{-c}`` grid.  Simulating the grid in
+float64 is exact while ``c·log₂ n ≤ 53`` (e.g. ``n ≤ 456`` at ``c = 6``);
+beyond that the float simulation deviates from ideal fixed-point arithmetic
+by ``≲ 2^{-50}`` per step — far below both ``n^{-c}`` and every ε used
+anywhere.  Tests that assert Lemma 2's exact bound run in the exact regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.engine import NodeProgram, SyncEngine
+from repro.congest.message import Message, fixed_point_bits
+from repro.congest.network import CongestNetwork
+from repro.constants import DEFAULT_C
+from repro.spectral.transition import walk_operator
+
+__all__ = ["FloodingEstimator", "estimate_rw_probability"]
+
+
+class _FloodProgram(NodeProgram):
+    """One node of the faithful Algorithm 1 execution."""
+
+    def __init__(self, source: int, grid: float, bits: int):
+        self.source = source
+        self.grid = grid  # n^-c
+        self.bits = bits
+        self.w = 0.0
+
+    def setup(self) -> None:
+        if self.node == self.source:
+            self.w = 1.0
+
+    def send(self, round_no: int):
+        if self.w == 0.0:
+            return {}
+        share = self.w / len(self.neighbors)
+        return {int(v): Message(share, self.bits) for v in self.neighbors}
+
+    def receive(self, round_no: int, inbox) -> None:
+        # Sum in ascending neighbor order — the same order scipy's CSR
+        # matvec uses, so fast and faithful agree bitwise.
+        sigma = 0.0
+        for u in sorted(inbox):
+            sigma += inbox[u].value
+        self.w = float(np.rint(sigma / self.grid)) * self.grid
+
+
+class FloodingEstimator:
+    """Stateful Algorithm 1 runner supporting incremental stepping.
+
+    Algorithm 2 restarts it per phase (`run(ℓ)` from scratch); the §3.2
+    exact algorithm calls :meth:`step` once per iteration, resuming from the
+    previous distribution (paper: "we resume the deterministic flooding
+    technique from the last step").
+
+    Attributes
+    ----------
+    w:
+        Current estimated distribution ``p̃_t`` (read-only view).
+    t:
+        Number of flooding rounds performed so far.
+    """
+
+    def __init__(
+        self,
+        net: CongestNetwork,
+        source: int,
+        *,
+        c: int = DEFAULT_C,
+        phase: str = "flooding",
+    ):
+        if not 0 <= source < net.n:
+            raise ValueError("source out of range")
+        if c < 1:
+            raise ValueError("c must be >= 1 (paper uses c >= 6)")
+        self.net = net
+        self.source = source
+        self.c = c
+        self.phase = phase
+        self.bits = fixed_point_bits(net.n, c)
+        net.check_bits(self.bits)
+        self._grid = float(net.n) ** (-c)
+        self.t = 0
+        if net.mode == "fast":
+            self._A = walk_operator(net.graph)
+            self._w = np.zeros(net.n, dtype=np.float64)
+            self._w[source] = 1.0
+            self._programs = None
+        else:
+            self._A = None
+            self._programs = [
+                _FloodProgram(source, self._grid, self.bits)
+                for _ in range(net.n)
+            ]
+            self._engine = SyncEngine(net, phase=phase)
+            # Engine injects node/neighbors on first run; do it eagerly so
+            # `w` is readable before any step.
+            g = net.graph
+            for u, prog in enumerate(self._programs):
+                prog.node = u
+                prog.neighbors = g.neighbors(u)
+                prog.net = net
+                prog.setup()
+
+    @property
+    def w(self) -> np.ndarray:
+        """Current estimate ``p̃_t`` as a length-``n`` array (copy)."""
+        if self.net.mode == "fast":
+            return self._w.copy()
+        return np.array([p.w for p in self._programs], dtype=np.float64)
+
+    def step(self, rounds: int = 1) -> np.ndarray:
+        """Advance ``rounds`` flooding rounds; return the new estimate."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        if self.net.mode == "fast":
+            g = self.net.graph
+            for _ in range(rounds):
+                senders = np.flatnonzero(self._w)
+                msgs = int(g.degrees[senders].sum())
+                self._w = (
+                    np.rint((self._A @ self._w) / self._grid) * self._grid
+                )
+                self.net.ledger.charge(
+                    rounds=1,
+                    messages=msgs,
+                    bits=msgs * self.bits,
+                    phase=self.phase,
+                )
+                self.t += 1
+            return self.w
+        for _ in range(rounds):
+            # One engine round; programs never halt on their own.
+            self._engine.run_prepared(self._programs)
+            self.t += 1
+        return self.w
+
+    def run(self, length: int) -> np.ndarray:
+        """Advance to exactly ``length`` total rounds (must not rewind)."""
+        if length < self.t:
+            raise ValueError(
+                f"cannot rewind: already at t={self.t}, asked for {length}"
+            )
+        return self.step(length - self.t)
+
+
+def estimate_rw_probability(
+    net: CongestNetwork,
+    source: int,
+    length: int,
+    *,
+    c: int = DEFAULT_C,
+    phase: str = "flooding",
+) -> np.ndarray:
+    """One-shot Algorithm 1: the estimated ``p̃_ℓ`` after ``length`` rounds."""
+    est = FloodingEstimator(net, source, c=c, phase=phase)
+    return est.run(length)

@@ -1,0 +1,116 @@
+"""Graph-wide local mixing time ``τ(β,ε) = max_v τ_v(β,ε)`` in CONGEST.
+
+The paper (§1, §2.2 footnote 6): computing the graph-wide value by running
+the single-source algorithm from every vertex costs an ``O(n)`` factor; on
+families whose local mixing times are homogeneous, *sampling* a few sources
+suffices.  Both are provided, with the rounds of the sequential composition
+charged to one ledger (runs are serialized — the paper's suggestion — so
+the total is the sum of per-source costs plus one final max-convergecast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.local_mixing_time import local_mixing_time_congest
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.message import int_bits
+from repro.congest.network import CongestNetwork
+from repro.congest.tree_ops import convergecast_max
+from repro.constants import DEFAULT_C, DEFAULT_EPS
+from repro.utils.seeding import as_rng
+
+__all__ = ["GraphLocalMixingResult", "graph_local_mixing_time_congest"]
+
+
+@dataclass(frozen=True)
+class GraphLocalMixingResult:
+    """Graph-wide local mixing time and its provenance.
+
+    Attributes
+    ----------
+    time:
+        ``max`` of the per-source outputs.
+    argmax_source:
+        A source achieving the max.
+    per_source:
+        ``source → output`` for every source that was run.
+    rounds:
+        Total CONGEST rounds (sequential composition + final aggregation).
+    sampled:
+        Whether only a sample of sources was run (the result is then a
+        lower bound on the true graph-wide value).
+    """
+
+    time: int
+    argmax_source: int
+    per_source: dict[int, int] = field(default_factory=dict)
+    rounds: int = 0
+    sampled: bool = False
+
+
+def graph_local_mixing_time_congest(
+    net: CongestNetwork,
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    sources=None,
+    sample: int | None = None,
+    c: int = DEFAULT_C,
+    seed=None,
+    t_max: int | None = None,
+) -> GraphLocalMixingResult:
+    """Compute ``τ(β,ε)`` by sequentially running Algorithm 2 per source.
+
+    Parameters
+    ----------
+    sources:
+        Explicit source list; default all nodes (the paper's O(n)-factor
+        composition).
+    sample:
+        If set (and ``sources`` is None), run from ``sample`` uniformly
+        chosen sources instead — appropriate for homogeneous families
+        (paper §1); the result is flagged ``sampled``.
+    """
+    rng = as_rng(seed)
+    sampled = False
+    if sources is None:
+        if sample is not None:
+            if not 1 <= sample <= net.n:
+                raise ValueError("sample out of range")
+            sources = sorted(
+                int(s) for s in rng.choice(net.n, size=sample, replace=False)
+            )
+            sampled = True
+        else:
+            sources = range(net.n)
+    per_source: dict[int, int] = {}
+    for s in sources:
+        res = local_mixing_time_congest(
+            net, int(s), beta, eps, c=c, seed=rng, t_max=t_max
+        )
+        per_source[int(s)] = res.time
+    if not per_source:
+        raise ValueError("need at least one source")
+    argmax = max(per_source, key=per_source.__getitem__)
+    # Final aggregation: every source knows its value; one BFS tree + max
+    # convergecast makes the maximum globally known (charged like any other
+    # primitive).
+    tree = build_bfs_tree(net, argmax, depth_limit=None)
+    values = [0.0] * net.n
+    for s, t in per_source.items():
+        values[s] = float(t)
+    import numpy as np
+
+    got = convergecast_max(
+        net, tree, np.asarray(values), int_bits(max(per_source.values())),
+        phase="convergecast",
+    )
+    assert int(round(float(got))) == per_source[argmax]
+    return GraphLocalMixingResult(
+        time=per_source[argmax],
+        argmax_source=argmax,
+        per_source=per_source,
+        rounds=net.ledger.rounds,
+        sampled=sampled,
+    )

@@ -1,0 +1,138 @@
+"""Baseline: the Molla–Pandurangan mixing-time estimator (ICDCN 2017).
+
+The paper this repo reproduces builds on this earlier algorithm of the same
+authors: estimate ``τ^mix_s(ε)`` by performing many random walks from ``s``
+*as token counts* (each node forwards a multinomial split of its token count
+to its neighbors — one ``O(log n)``-bit counter per edge per round), then
+comparing the endpoint histogram against the stationary distribution; if not
+ε-close, double the length and rerun.  ``O(τ^mix_s log n)`` rounds.
+
+The reproduced paper's point (§1, §3) is that this approach does **not**
+extend to local mixing — there is no known set to compare against — which is
+why Algorithm 2 needs the deterministic flooding + k-smallest machinery.
+Benchmark C1 contrasts the two run times on graphs where
+``τ_local ≪ τ^mix``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.congest.message import int_bits
+from repro.congest.network import CongestNetwork
+from repro.constants import DEFAULT_EPS, MAX_WALK_LENGTH_FACTOR
+from repro.errors import BipartiteGraphError, ConvergenceError
+from repro.spectral.stationary import stationary_distribution
+from repro.utils.seeding import as_rng
+
+__all__ = ["MPMixingEstimate", "mixing_time_mp"]
+
+
+@dataclass(frozen=True)
+class MPMixingEstimate:
+    """Result of the ICDCN'17 estimator.
+
+    Attributes
+    ----------
+    time:
+        First examined length whose empirical distance fell below ε (a
+        2-approximation of ``τ^mix_s(ε)`` up to sampling noise, since
+        lengths double).
+    walks:
+        Number of walk tokens used per phase.
+    rounds:
+        Total CONGEST rounds charged (Σ of phase lengths).
+    history:
+        ``(ℓ, empirical ‖p̂_ℓ − π‖₁)`` per phase.
+    """
+
+    time: int
+    walks: int
+    rounds: int
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+
+def _diffuse_tokens(
+    net: CongestNetwork, source: int, length: int, tokens: int, rng, lazy: bool
+) -> np.ndarray:
+    """Token diffusion with CONGEST cost charging (counts are O(log n)-bit
+    counters per edge; one round per step)."""
+    g = net.graph
+    counts = np.zeros(g.n, dtype=np.int64)
+    counts[source] = tokens
+    bits = int_bits(tokens)
+    for _ in range(length):
+        nxt = np.zeros(g.n, dtype=np.int64)
+        active = np.flatnonzero(counts)
+        msgs = int(g.degrees[active].sum())
+        for u in active:
+            u = int(u)
+            c = int(counts[u])
+            if lazy:
+                stay = int(rng.binomial(c, 0.5))
+                nxt[u] += stay
+                c -= stay
+                if c == 0:
+                    continue
+            nbrs = g.neighbors(u)
+            split = rng.multinomial(c, np.full(nbrs.size, 1.0 / nbrs.size))
+            np.add.at(nxt, nbrs, split)
+        counts = nxt
+        net.ledger.charge(
+            rounds=1, messages=msgs, bits=msgs * bits, phase="mp-walks"
+        )
+    return counts
+
+
+def mixing_time_mp(
+    net: CongestNetwork,
+    source: int,
+    eps: float = DEFAULT_EPS,
+    *,
+    walks: int | None = None,
+    seed=None,
+    lazy: bool = False,
+    t_max: int | None = None,
+) -> MPMixingEstimate:
+    """Estimate ``τ^mix_s(ε)`` by token walks + doubling (see module doc).
+
+    ``walks`` defaults to ``⌈16·n·ln(n+1)/ε²⌉`` — enough that the expected
+    L1 sampling noise ``≈ √(n/walks)`` sits well below ε.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    g = net.graph
+    if not lazy and g.is_bipartite:
+        raise BipartiteGraphError(
+            f"{g.name} is bipartite; pass lazy=True"
+        )
+    if not 0 <= source < g.n:
+        raise ValueError("source out of range")
+    if walks is None:
+        walks = math.ceil(16.0 * g.n * math.log(g.n + 1) / eps**2)
+    if t_max is None:
+        t_max = MAX_WALK_LENGTH_FACTOR * g.n**3
+    rng = as_rng(seed)
+    pi = stationary_distribution(g)
+
+    history: list[tuple[int, float]] = []
+    ell = 1
+    while ell <= t_max:
+        counts = _diffuse_tokens(net, source, ell, walks, rng, lazy)
+        p_hat = counts.astype(np.float64) / walks
+        dist = float(np.abs(p_hat - pi).sum())
+        history.append((ell, dist))
+        if dist < eps:
+            return MPMixingEstimate(
+                time=ell,
+                walks=walks,
+                rounds=net.ledger.rounds,
+                history=history,
+            )
+        ell *= 2
+    raise ConvergenceError(
+        f"MP estimator did not converge by t_max={t_max}", last_length=ell // 2
+    )

@@ -1,0 +1,27 @@
+"""Experiment harness helpers: the paper's theoretical bounds as callable
+predictions, and sweep drivers shared by the benchmarks in ``benchmarks/``."""
+
+from repro.analysis.theory import (
+    theorem1_round_bound,
+    theorem2_round_bound,
+    theorem3_round_bound,
+    grid_length,
+)
+from repro.analysis.sweeps import family_sweep, measure_graph
+from repro.analysis.report import reproduction_report
+from repro.analysis.conjecture import (
+    ConjecturePoint,
+    weak_conductance_vs_local_mixing,
+)
+
+__all__ = [
+    "theorem1_round_bound",
+    "theorem2_round_bound",
+    "theorem3_round_bound",
+    "grid_length",
+    "family_sweep",
+    "reproduction_report",
+    "ConjecturePoint",
+    "weak_conductance_vs_local_mixing",
+    "measure_graph",
+]

@@ -1,0 +1,130 @@
+"""Empirical study of the paper's open problem (§5, Conclusion):
+
+    "Finding a relationship between local mixing time and weak conductance
+     is another key problem."
+
+The conjectured shape mirrors the classic mixing/conductance envelope
+``Θ(1/Φ) ≤ τ_mix ≤ Θ(log n / Φ²)``: with ``Φ_β`` the weak conductance,
+one expects ``τ(β,ε)`` to be sandwiched between ``~1/Φ_β`` and
+``~log n / Φ_β²``.  We can *measure* both sides on families where Φ_β is
+computable: the β-barbell (closed form via home cliques), expander chains
+(certified block covers), tiny graphs (exact enumeration).
+
+:func:`weak_conductance_vs_local_mixing` produces the (Φ_β, τ_local) pairs
+plus the envelope columns; the W1 benchmark prints them and asserts the
+envelope at the measured constants.  This is exploratory evidence, not a
+proof — DESIGN.md lists it as the future-work experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_EPS
+from repro.graphs import generators as gen
+from repro.spectral.weak_conductance import (
+    barbell_weak_conductance,
+    weak_conductance_exact,
+    weak_conductance_lower_bound,
+)
+from repro.walks.local_mixing import local_mixing_time
+
+__all__ = ["ConjecturePoint", "weak_conductance_vs_local_mixing"]
+
+
+@dataclass(frozen=True)
+class ConjecturePoint:
+    """One (graph, β) observation for the open-problem study.
+
+    Attributes
+    ----------
+    graph:
+        Instance label.
+    n, beta, eps:
+        Parameters.
+    phi_beta:
+        Weak conductance (exact, closed-form, or certified lower bound —
+        see ``phi_kind``).
+    tau_local:
+        Measured local mixing time (max over sampled sources).
+    lower_env / upper_env:
+        The conjectured envelope ``1/Φ_β`` and ``log n / Φ_β²``.
+    phi_kind:
+        ``"exact"`` / ``"closed-form"`` / ``"cover-bound"``.
+    """
+
+    graph: str
+    n: int
+    beta: float
+    eps: float
+    phi_beta: float
+    tau_local: int
+    lower_env: float
+    upper_env: float
+    phi_kind: str
+
+    @property
+    def within_envelope(self) -> bool:
+        """Envelope check with a generous constant (4×) on both sides."""
+        return (
+            self.tau_local <= 4 * self.upper_env + 4
+            and 4 * self.tau_local + 4 >= self.lower_env
+        )
+
+
+def _sampled_tau(g, beta: float, eps: float, step: int) -> int:
+    return max(
+        local_mixing_time(g, s, beta, eps).time for s in range(0, g.n, step)
+    )
+
+
+def weak_conductance_vs_local_mixing(
+    eps: float = DEFAULT_EPS, *, seed: int = 0
+) -> list[ConjecturePoint]:
+    """Measure (Φ_β, τ_local) pairs across the computable families."""
+    points: list[ConjecturePoint] = []
+
+    # β-barbells: closed-form Φ_β (home cliques), τ measured.
+    for beta, k in ((2, 16), (4, 16), (8, 16), (4, 24)):
+        g = gen.beta_barbell(beta, k)
+        phi = barbell_weak_conductance(beta, k)
+        tau = _sampled_tau(g, beta, eps, k)
+        points.append(
+            ConjecturePoint(
+                graph=g.name, n=g.n, beta=beta, eps=eps, phi_beta=phi,
+                tau_local=tau, lower_env=1.0 / phi,
+                upper_env=math.log(g.n) / phi**2, phi_kind="closed-form",
+            )
+        )
+
+    # Expander chains: certified block-cover lower bound on Φ_β.
+    for beta, k in ((4, 32),):
+        g = gen.clique_chain_of_expanders(beta, k, d=8, seed=seed)
+        cover = [np.arange(b * k, (b + 1) * k) for b in range(beta)]
+        phi = weak_conductance_lower_bound(g, beta, cover)
+        tau = _sampled_tau(g, beta, 4 * eps, k)  # algorithm-threshold regime
+        points.append(
+            ConjecturePoint(
+                graph=g.name, n=g.n, beta=beta, eps=4 * eps, phi_beta=phi,
+                tau_local=tau, lower_env=1.0 / phi,
+                upper_env=math.log(g.n) / phi**2, phi_kind="cover-bound",
+            )
+        )
+
+    # Tiny graphs: exact weak conductance by enumeration.
+    for maker, beta in ((lambda: gen.beta_barbell(2, 5), 2),
+                        (lambda: gen.complete_graph(10), 2)):
+        g = maker()
+        phi = weak_conductance_exact(g, beta)
+        tau = _sampled_tau(g, beta, 0.2, 1)
+        points.append(
+            ConjecturePoint(
+                graph=g.name, n=g.n, beta=beta, eps=0.2, phi_beta=phi,
+                tau_local=tau, lower_env=1.0 / phi,
+                upper_env=math.log(g.n) / phi**2, phi_kind="exact",
+            )
+        )
+    return points

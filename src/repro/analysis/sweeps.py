@@ -1,0 +1,76 @@
+"""Sweep drivers shared by the benchmark harness.
+
+A *measurement* is one graph instance boiled down to the quantities the
+paper's §2.3 table compares: mixing time, local mixing time, their ratio,
+and the structural parameters (n, m, diameter).  A *sweep* maps a family
+over a size grid and returns rows ready for
+:func:`repro.utils.tables.format_table` and for log–log slope fits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constants import DEFAULT_EPS
+from repro.graphs.base import Graph
+from repro.graphs.families import get_family
+from repro.graphs.properties import estimate_diameter_two_sweep
+from repro.utils.seeding import as_rng
+from repro.walks.local_mixing import local_mixing_time
+from repro.walks.mixing import mixing_time
+
+__all__ = ["measure_graph", "family_sweep"]
+
+
+def measure_graph(
+    g: Graph,
+    source: int,
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    lazy: bool = False,
+    sizes: str = "all",
+    t_max: int | None = None,
+) -> dict:
+    """Measure one instance: τ_mix, τ_local, ratio, and structure."""
+    tau_mix = mixing_time(g, source, eps, lazy=lazy, t_max=t_max)
+    tau_loc = local_mixing_time(
+        g, source, beta, eps, lazy=lazy, sizes=sizes, t_max=t_max
+    ).time
+    return {
+        "graph": g.name,
+        "n": g.n,
+        "m": g.m,
+        "diameter_est": estimate_diameter_two_sweep(g),
+        "source": source,
+        "beta": beta,
+        "eps": eps,
+        "tau_mix": tau_mix,
+        "tau_local": tau_loc,
+        "ratio": tau_mix / max(tau_loc, 1),
+    }
+
+
+def family_sweep(
+    family_key: str,
+    ns: Sequence[int],
+    beta: int,
+    eps: float = DEFAULT_EPS,
+    *,
+    seed=None,
+    source: int = 0,
+    sizes: str = "all",
+    t_max: int | None = None,
+) -> list[dict]:
+    """Measure a :class:`~repro.graphs.families.GraphFamily` across sizes."""
+    fam = get_family(family_key)
+    rng = as_rng(seed)
+    rows = []
+    for n in ns:
+        g = fam.build(n, beta, rng)
+        rows.append(
+            measure_graph(
+                g, source, beta, eps, lazy=fam.lazy, sizes=sizes, t_max=t_max
+            )
+        )
+    return rows

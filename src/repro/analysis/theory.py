@@ -1,0 +1,50 @@
+"""The paper's round bounds as explicit formulas (constants set to 1).
+
+Benchmarks report ``measured / bound`` ratios; a reproduction succeeds when
+those ratios are stable (bounded by a modest constant) across the sweep —
+the asymptotic *shape* is the claim, not the constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "grid_length",
+    "theorem1_round_bound",
+    "theorem2_round_bound",
+    "theorem3_round_bound",
+]
+
+
+def grid_length(beta: float, eps: float) -> float:
+    """``log_{1+ε} β`` — the number of set sizes Algorithm 2 scans."""
+    if beta < 1:
+        raise ValueError("beta must be >= 1")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if beta == 1:
+        return 1.0
+    return max(1.0, math.log(beta) / math.log1p(eps))
+
+
+def theorem1_round_bound(tau: float, n: int, eps: float, beta: float) -> float:
+    """Theorem 1: ``O(τ_s · log² n · log_{1+ε} β)`` rounds."""
+    return max(tau, 1.0) * max(math.log2(n), 1.0) ** 2 * grid_length(beta, eps)
+
+
+def theorem2_round_bound(
+    tau: float, d_tilde: float, n: int, eps: float, beta: float
+) -> float:
+    """Theorem 2: ``O(τ_s · D̃ · log n · log_{1+ε} β)``, ``D̃ = min{τ_s, D}``."""
+    return (
+        max(tau, 1.0)
+        * max(d_tilde, 1.0)
+        * max(math.log2(n), 1.0)
+        * grid_length(beta, eps)
+    )
+
+
+def theorem3_round_bound(tau: float, n: int) -> float:
+    """Theorem 3: ``O(τ(β,ε) · log n)`` push–pull rounds."""
+    return max(tau, 1.0) * max(math.log(n), 1.0)

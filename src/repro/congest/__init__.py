@@ -1,0 +1,60 @@
+"""CONGEST-model simulator.
+
+A synchronous message-passing network in which every node may send one
+``O(log n)``-bit message per edge per round (paper §1.1).  Two execution
+layers share one cost model:
+
+* **faithful** — per-node programs exchanging real message objects through
+  :class:`~repro.congest.engine.SyncEngine`; every message's declared bit
+  width is checked against the per-edge budget each round.
+* **fast** — vectorized NumPy implementations of the same primitives that
+  compute identical values and charge identical rounds to the
+  :class:`~repro.congest.metrics.CostLedger` by construction.
+
+Tests assert that both layers agree on results and round counts; benchmarks
+run the fast layer so experiment sweeps reach realistic sizes.
+"""
+
+from repro.congest.metrics import CostLedger, PhaseCost
+from repro.congest.message import (
+    fixed_point_bits,
+    id_bits,
+    int_bits,
+    Message,
+)
+from repro.congest.network import CongestNetwork
+from repro.congest.engine import NodeProgram, SyncEngine
+from repro.congest.bfs import BFSTree, build_bfs_tree
+from repro.congest.tree_ops import (
+    broadcast_value,
+    convergecast_count,
+    convergecast_max,
+    convergecast_min,
+    convergecast_sum,
+)
+from repro.congest.ksmallest import KSmallestResult, k_smallest_sum
+from repro.congest.upcast import UpcastResult, k_smallest_sum_upcast, upcast_values
+
+__all__ = [
+    "CostLedger",
+    "PhaseCost",
+    "Message",
+    "fixed_point_bits",
+    "id_bits",
+    "int_bits",
+    "CongestNetwork",
+    "NodeProgram",
+    "SyncEngine",
+    "BFSTree",
+    "build_bfs_tree",
+    "broadcast_value",
+    "convergecast_count",
+    "convergecast_max",
+    "convergecast_min",
+    "convergecast_sum",
+    "KSmallestResult",
+    "k_smallest_sum",
+    "UpcastResult",
+    "upcast_values",
+    "k_smallest_sum_upcast",
+]

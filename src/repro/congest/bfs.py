@@ -1,0 +1,224 @@
+"""BFS-tree construction by flooding (paper §3.1, "Compute BFS tree from s").
+
+Algorithm 2 builds, at the start of each phase, a BFS tree of depth
+``min{D, ℓ}`` rooted at the source; all aggregation (broadcast,
+convergecast, binary search) then runs over this tree.
+
+Protocol (both layers):
+
+* round ``d+1``: every node that joined at depth ``d < depth_limit``
+  *beacons* to all neighbors; every node that joined at depth ``d > 0``
+  also notifies its chosen parent (*accept*), piggybacked on the beacon
+  where both use the same edge.  Parent choice is the smallest-id neighbor
+  heard in the joining round (deterministic, so both layers build the same
+  tree).
+* a node at the depth cap sends only the accept.
+
+Cost: ``min(ecc(s), depth_limit) + 1`` rounds — the ``+1`` is the finishing
+round that carries the deepest layer's accepts (and the beacons that
+discover there is nothing left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.congest.engine import NodeProgram, SyncEngine
+from repro.congest.message import Message
+from repro.congest.network import CongestNetwork
+
+__all__ = ["BFSTree", "build_bfs_tree"]
+
+
+@dataclass(frozen=True)
+class BFSTree:
+    """A rooted BFS tree of bounded depth.
+
+    Attributes
+    ----------
+    source:
+        Root node.
+    parent:
+        ``parent[u]`` is ``u``'s tree parent; ``-1`` for the root and for
+        nodes outside the tree.
+    depth:
+        BFS depth of each node; ``-1`` outside the tree.
+    height:
+        Maximum depth over tree nodes.
+    rounds_used:
+        CONGEST rounds the construction cost (already charged).
+    """
+
+    source: int
+    parent: np.ndarray
+    depth: np.ndarray
+    height: int
+    rounds_used: int
+
+    @cached_property
+    def in_tree(self) -> np.ndarray:
+        """Boolean membership mask."""
+        mask = self.depth >= 0
+        mask.setflags(write=False)
+        return mask
+
+    @cached_property
+    def size(self) -> int:
+        """Number of tree nodes (including the root)."""
+        return int(np.count_nonzero(self.depth >= 0))
+
+    @cached_property
+    def children(self) -> list[np.ndarray]:
+        """``children[u]``: array of ``u``'s tree children (sorted)."""
+        n = self.parent.size
+        kids: list[list[int]] = [[] for _ in range(n)]
+        for u in np.flatnonzero(self.parent >= 0):
+            kids[int(self.parent[u])].append(int(u))
+        return [np.array(sorted(k), dtype=np.int64) for k in kids]
+
+    def layers(self) -> list[np.ndarray]:
+        """Tree nodes grouped by depth."""
+        return [
+            np.flatnonzero(self.depth == d) for d in range(self.height + 1)
+        ]
+
+
+def _fast_bfs(net: CongestNetwork, source: int, depth_limit: int) -> BFSTree:
+    g = net.graph
+    n = g.n
+    depth = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size and level < depth_limit:
+        level += 1
+        # Candidate (child, parent) pairs: neighbors of the frontier.
+        pairs_child = []
+        pairs_parent = []
+        for u in frontier:
+            nbrs = g.neighbors(int(u))
+            fresh = nbrs[depth[nbrs] == -1]
+            if fresh.size:
+                pairs_child.append(fresh)
+                pairs_parent.append(np.full(fresh.size, u, dtype=np.int64))
+        if not pairs_child:
+            level -= 1
+            break
+        child = np.concatenate(pairs_child)
+        par = np.concatenate(pairs_parent)
+        # Deterministic parent = smallest-id beaconing neighbor.
+        order = np.lexsort((par, child))
+        child, par = child[order], par[order]
+        keep = np.ones(child.size, dtype=bool)
+        keep[1:] = child[1:] != child[:-1]
+        child, par = child[keep], par[keep]
+        depth[child] = level
+        parent[child] = par
+        frontier = child
+    height = int(depth.max())
+    # The finishing round carries the deepest layer's beacons/accepts; since
+    # height <= depth_limit always, this equals the faithful engine's count.
+    rounds = height + 1
+
+    # Message/bit accounting (see module docstring):
+    #   beacons: every tree node with depth < depth_limit, to every neighbor;
+    #   accepts: every non-root tree node, to its parent (merged with the
+    #   beacon on that edge when the node also beacons).
+    reached = np.flatnonzero(depth >= 0)
+    beaconers = reached[depth[reached] < depth_limit]
+    beacon_msgs = int(g.degrees[beaconers].sum())
+    accept_only = int(np.count_nonzero(depth[reached] == depth_limit))
+    messages = beacon_msgs + accept_only
+    merged_accepts = int(
+        np.count_nonzero((depth[reached] > 0) & (depth[reached] < depth_limit))
+    )
+    bits = beacon_msgs + accept_only + merged_accepts  # accept adds one bit
+    net.ledger.charge(rounds=rounds, messages=messages, bits=bits, phase="bfs")
+    return BFSTree(
+        source=source,
+        parent=parent,
+        depth=depth,
+        height=height,
+        rounds_used=rounds,
+    )
+
+
+class _BFSProgram(NodeProgram):
+    """Faithful per-node BFS program (see module docstring for protocol)."""
+
+    def __init__(self, source: int, depth_limit: int):
+        self.source = source
+        self.depth_limit = depth_limit
+        self.depth = -1
+        self.parent = -1
+        self._announce_round: int | None = None
+
+    def setup(self) -> None:
+        if self.node == self.source:
+            self.depth = 0
+            self._announce_round = 1
+
+    def send(self, round_no: int):
+        if self._announce_round != round_no:
+            return {}
+        out = {}
+        beacon = self.depth < self.depth_limit
+        for v in self.neighbors:
+            v = int(v)
+            if v == self.parent:
+                # Beacon + accept share this edge (2 bits), or accept alone.
+                out[v] = Message(("beacon", "accept") if beacon else ("accept",), 2 if beacon else 1)
+            elif beacon:
+                out[v] = Message(("beacon",), 1)
+        self.halted = True
+        return out
+
+    def receive(self, round_no: int, inbox) -> None:
+        if self.depth >= 0:
+            return
+        senders = [u for u, msg in inbox.items() if "beacon" in msg.value]
+        if senders:
+            self.depth = round_no
+            self.parent = min(senders)
+            self._announce_round = round_no + 1
+
+
+def _faithful_bfs(net: CongestNetwork, source: int, depth_limit: int) -> BFSTree:
+    g = net.graph
+    programs = [_BFSProgram(source, depth_limit) for _ in range(g.n)]
+    engine = SyncEngine(net, phase="bfs")
+    # +1: the deepest layer's accepts go out the round after it joins.
+    rounds = engine.run(programs, max_rounds=depth_limit + 1)
+    depth = np.array([p.depth for p in programs], dtype=np.int64)
+    parent = np.array([p.parent for p in programs], dtype=np.int64)
+    return BFSTree(
+        source=source,
+        parent=parent,
+        depth=depth,
+        height=int(depth.max()),
+        rounds_used=rounds,
+    )
+
+
+def build_bfs_tree(
+    net: CongestNetwork, source: int, depth_limit: int | None = None
+) -> BFSTree:
+    """Build a BFS tree of depth at most ``depth_limit`` rooted at ``source``.
+
+    ``depth_limit=None`` means unbounded (the full BFS tree).  Construction
+    rounds are charged to the ledger under phase ``"bfs"``.
+    """
+    n = net.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    if depth_limit is None:
+        depth_limit = n  # an eccentricity is at most n-1
+    if depth_limit < 1:
+        raise ValueError("depth_limit must be >= 1")
+    if net.mode == "fast":
+        return _fast_bfs(net, source, depth_limit)
+    return _faithful_bfs(net, source, depth_limit)

@@ -1,0 +1,123 @@
+"""The faithful per-node synchronous engine.
+
+Execution contract (one synchronous round, paper §1.1):
+
+1. every node's :meth:`NodeProgram.send` returns its outbox — a mapping
+   ``neighbor → Message`` (at most one message per incident edge);
+2. the engine validates every message width against the network budget and
+   charges the ledger;
+3. every node's :meth:`NodeProgram.receive` consumes its inbox — a mapping
+   ``neighbor → Message`` of what arrived this round;
+4. the round ends; a node that has set :attr:`NodeProgram.halted` stops
+   being scheduled (it neither sends nor receives).
+
+The engine runs until all programs halt or ``max_rounds`` elapses, and
+charges exactly one round per iteration — so the faithful layer's round
+count *is* the model's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.congest.message import Message
+from repro.congest.network import CongestNetwork
+from repro.errors import ProtocolError
+
+__all__ = ["NodeProgram", "SyncEngine"]
+
+
+class NodeProgram:
+    """Base class for per-node CONGEST programs.
+
+    Subclasses get :attr:`node`, :attr:`neighbors` (sorted NumPy array) and
+    :attr:`net` injected before round 1 and override :meth:`send` /
+    :meth:`receive`.  Set :attr:`halted` to ``True`` to stop participating.
+    """
+
+    node: int
+    neighbors = None
+    net: CongestNetwork
+    halted: bool = False
+
+    def setup(self) -> None:
+        """Hook called once before the first round."""
+
+    def send(self, round_no: int) -> Mapping[int, Message]:
+        """Outbox for this round (default: silence)."""
+        return {}
+
+    def receive(self, round_no: int, inbox: Mapping[int, Message]) -> None:
+        """Consume this round's inbox (default: ignore)."""
+
+
+class SyncEngine:
+    """Drives a set of :class:`NodeProgram` instances in lockstep."""
+
+    def __init__(self, net: CongestNetwork, *, phase: str = "engine"):
+        self.net = net
+        self.phase = phase
+
+    def run(
+        self,
+        programs: Sequence[NodeProgram],
+        *,
+        max_rounds: int,
+    ) -> int:
+        """Inject contexts, run setup hooks, then run until every program
+        halts (or ``max_rounds``); return the number of rounds executed."""
+        g = self.net.graph
+        if len(programs) != g.n:
+            raise ProtocolError(
+                f"need one program per node: got {len(programs)} for n={g.n}"
+            )
+        for u, prog in enumerate(programs):
+            prog.node = u
+            prog.neighbors = g.neighbors(u)
+            prog.net = self.net
+            prog.setup()
+        return self.run_prepared(programs, max_rounds=max_rounds)
+
+    def run_prepared(
+        self,
+        programs: Sequence[NodeProgram],
+        *,
+        max_rounds: int = 1,
+    ) -> int:
+        """Run rounds on programs whose contexts are already injected —
+        used for incremental stepping (the §3.2 flooding resumes from the
+        previous state, so re-running ``setup`` would be wrong)."""
+        g = self.net.graph
+        rounds = 0
+        for round_no in range(1, max_rounds + 1):
+            if all(p.halted for p in programs):
+                break
+            inboxes: dict[int, dict[int, Message]] = {}
+            n_msgs = 0
+            n_bits = 0
+            for u, prog in enumerate(programs):
+                if prog.halted:
+                    continue
+                outbox = prog.send(round_no)
+                for v, msg in outbox.items():
+                    if not g.has_edge(u, int(v)):
+                        raise ProtocolError(
+                            f"node {u} tried to message non-neighbor {v}"
+                        )
+                    if not isinstance(msg, Message):
+                        raise ProtocolError(
+                            f"node {u} sent a raw payload; wrap it in Message"
+                        )
+                    self.net.check_bits(msg.bits)
+                    inboxes.setdefault(int(v), {})[u] = msg
+                    n_msgs += 1
+                    n_bits += msg.bits
+            for u, prog in enumerate(programs):
+                if prog.halted:
+                    continue
+                prog.receive(round_no, inboxes.get(u, {}))
+            rounds += 1
+            self.net.ledger.charge(
+                rounds=1, messages=n_msgs, bits=n_bits, phase=self.phase
+            )
+        return rounds

@@ -1,0 +1,264 @@
+"""Distributed k-smallest-sum via binary search (paper §3.1).
+
+The source needs ``Σ`` of the ``k`` smallest values ``x_u`` held by the
+nodes.  Upcasting all values through the BFS tree could take Ω(n) rounds;
+instead (paper §3.1):
+
+1. every node adds a tiny random perturbation ``r_u ∈ [n^{-8}, n^{-4}]`` so
+   all values are distinct whp (the added mass, ≤ ``n·n^{-4}``, is far below
+   the ε threshold);
+2. the source learns ``(x_min, x_max)`` by one convergecast;
+3. it binary-searches a threshold ``x_mid``: broadcast ``x_mid`` down the
+   tree, convergecast the count of nodes with ``x_u ≤ x_mid``, and narrow
+   until the count is exactly ``k``;
+4. one final convergecast returns the sum over qualified nodes.
+
+Each probe costs one broadcast + one convergecast = ``2·height`` rounds;
+the whole search is ``O(D log n)`` rounds as the paper charges.
+
+**Out-of-tree nodes.**  When Algorithm 2 runs with walk length ``ℓ < D``,
+the BFS tree only spans the radius-ℓ ball, but the check ranges over all
+``n`` nodes.  Every out-of-tree node provably holds ``p̃_ℓ(u) = 0``, hence
+``x_u = |0 − 1/R| = 1/R`` *exactly* — a value the source already knows, so
+it folds those ``n − tree_size`` "virtual" entries into the count/sum
+arithmetic locally (``virtual_value`` / ``virtual_count`` below).  This is
+the natural completion of a detail the paper leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.bfs import BFSTree
+from repro.congest.message import fixed_point_bits
+from repro.congest.network import CongestNetwork
+from repro.congest.tree_ops import broadcast_value, convergecast
+from repro.constants import PERTURB_HIGH_EXP, PERTURB_LOW_EXP
+from repro.errors import ConvergenceError
+from repro.utils.seeding import as_rng
+
+__all__ = ["KSmallestResult", "k_smallest_sum"]
+
+
+@dataclass(frozen=True)
+class KSmallestResult:
+    """Result of one distributed k-smallest-sum query.
+
+    Attributes
+    ----------
+    total:
+        Sum of the ``k`` smallest (perturbed) values — overshoots the true
+        sum by at most ``k·n^{-4}``.
+    iterations:
+        Binary-search probes used (each costs ``2·height`` rounds).
+    rounds:
+        Total CONGEST rounds charged by this query.
+    from_virtual:
+        How many of the ``k`` selected entries were virtual (out-of-tree).
+    """
+
+    total: float
+    iterations: int
+    rounds: int
+    from_virtual: int
+
+
+def _binary_search_sum(
+    net: CongestNetwork,
+    tree: BFSTree,
+    pert: np.ndarray,
+    k: int,
+    *,
+    lo: float,
+    hi: float,
+    floor: float | None,
+    bits: int,
+    phase: str,
+    max_iters: int,
+) -> tuple[float, int]:
+    """Sum of the ``k`` smallest in-tree values in ``(floor, hi]``.
+
+    Invariant: ``count(≤ lo) < k ≤ count(≤ hi)`` over participating values.
+    """
+    participating = tree.in_tree.copy()
+    if floor is not None:
+        participating &= pert > floor
+    p_count = int(np.count_nonzero(participating))
+    if k > p_count:
+        raise ValueError(f"k={k} exceeds the {p_count} participating values")
+    if k == p_count:
+        # The source knows the participating count (tree size and, in the
+        # floored case, the below-count it just computed), so it can skip
+        # the search and sum everything in one convergecast.
+        total = float(
+            convergecast(
+                net, tree, np.where(participating, pert, 0.0), "sum", bits,
+                phase=phase,
+            )
+        )
+        return total, 0
+    iterations = 0
+    qualified = None
+    while True:
+        iterations += 1
+        if iterations > max_iters:
+            raise ConvergenceError(
+                f"k-smallest binary search did not converge in {max_iters} "
+                "probes (duplicate values despite perturbation?)"
+            )
+        mid = 0.5 * (lo + hi)
+        if not (lo < mid < hi):
+            raise ConvergenceError(
+                "binary-search interval collapsed before hitting the count"
+            )
+        broadcast_value(net, tree, mid, bits, phase=phase)
+        qualified = participating & (pert <= mid)
+        cnt = int(
+            round(
+                float(
+                    convergecast(
+                        net, tree, qualified.astype(np.float64), "sum", bits,
+                        phase=phase,
+                    )
+                )
+            )
+        )
+        if cnt == k:
+            break
+        if cnt < k:
+            lo = mid
+        else:
+            hi = mid
+    total = float(
+        convergecast(
+            net, tree, np.where(qualified, pert, 0.0), "sum", bits, phase=phase
+        )
+    )
+    return total, iterations
+
+
+def k_smallest_sum(
+    net: CongestNetwork,
+    tree: BFSTree,
+    values: np.ndarray,
+    k: int,
+    *,
+    seed=None,
+    value_bits: int | None = None,
+    virtual_value: float | None = None,
+    virtual_count: int = 0,
+    phase: str = "ksearch",
+    max_iters: int = 200,
+) -> KSmallestResult:
+    """Distributed sum of the ``k`` smallest values (see module docstring).
+
+    ``values`` is indexed by node id; only in-tree entries participate.
+    ``virtual_count`` extra copies of the exact ``virtual_value`` are folded
+    in analytically at the source.
+    """
+    n = net.n
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (n,):
+        raise ValueError("values must have one entry per node")
+    if virtual_count < 0:
+        raise ValueError("virtual_count must be >= 0")
+    if virtual_count > 0 and virtual_value is None:
+        raise ValueError("virtual_count > 0 needs virtual_value")
+    pool = tree.size + virtual_count
+    if not 1 <= k <= pool:
+        raise ValueError(f"k={k} out of range [1, {pool}]")
+    if value_bits is None:
+        # Values are modeled as fixed point on the n^-7 grid (Algorithm 1's
+        # probabilities are on the n^-c grid with c = 6, and the perturbation
+        # adds at most one more digit of useful precision); a (min, max)
+        # pair then still fits the default 16·⌈log₂ n⌉ budget.
+        value_bits = fixed_point_bits(n, 7)
+    net.check_bits(2 * value_bits)  # the (min, max) pair must fit too
+    rng = as_rng(seed)
+
+    rounds_before = net.ledger.rounds
+    # Perturb (every node locally; drawn centrally for reproducibility).
+    r = rng.uniform(
+        float(n) ** -PERTURB_HIGH_EXP, float(n) ** -PERTURB_LOW_EXP, size=n
+    )
+    pert = values + r
+
+    # One convergecast carries (min, max): stack value with its negation and
+    # take the column-wise min.
+    mm = convergecast(
+        net,
+        tree,
+        np.stack([pert, -pert], axis=1),
+        "min",
+        value_bits,
+        phase=phase,
+    )
+    x_min, x_max = float(mm[0]), float(-mm[1])
+    lo0 = x_min - 1.0
+
+    if virtual_count == 0:
+        total, iters = _binary_search_sum(
+            net, tree, pert, k,
+            lo=lo0, hi=x_max, floor=None,
+            bits=value_bits, phase=phase, max_iters=max_iters,
+        )
+        return KSmallestResult(
+            total=total,
+            iterations=iters,
+            rounds=net.ledger.rounds - rounds_before,
+            from_virtual=0,
+        )
+
+    v = float(virtual_value)
+    # Count/sum of in-tree values at or below the virtual value — one
+    # broadcast of v plus one two-column convergecast.
+    broadcast_value(net, tree, v, value_bits, phase=phase)
+    below = tree.in_tree & (pert <= v)
+    cs = convergecast(
+        net,
+        tree,
+        np.stack([below.astype(np.float64), np.where(below, pert, 0.0)], axis=1),
+        "sum",
+        value_bits,
+        phase=phase,
+    )
+    cb, sb = int(round(float(cs[0]))), float(cs[1])
+
+    if cb >= k:
+        # The k smallest live entirely below (or at) the virtual value.
+        total, iters = _binary_search_sum(
+            net, tree, pert, k,
+            lo=lo0, hi=v, floor=None,
+            bits=value_bits, phase=phase, max_iters=max_iters,
+        )
+        return KSmallestResult(
+            total=total,
+            iterations=iters,
+            rounds=net.ledger.rounds - rounds_before,
+            from_virtual=0,
+        )
+    if cb + virtual_count >= k:
+        # All cb below-values plus (k − cb) virtual copies.
+        total = sb + (k - cb) * v
+        return KSmallestResult(
+            total=total,
+            iterations=0,
+            rounds=net.ledger.rounds - rounds_before,
+            from_virtual=k - cb,
+        )
+    # Everything below, all virtual copies, and the remainder from above v.
+    rest = k - cb - virtual_count
+    above_total, iters = _binary_search_sum(
+        net, tree, pert, rest,
+        lo=v, hi=x_max, floor=v,
+        bits=value_bits, phase=phase, max_iters=max_iters,
+    )
+    total = sb + virtual_count * v + above_total
+    return KSmallestResult(
+        total=total,
+        iterations=iters,
+        rounds=net.ledger.rounds - rounds_before,
+        from_virtual=virtual_count,
+    )

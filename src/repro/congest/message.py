@@ -1,0 +1,64 @@
+"""Message envelopes and bit-width bookkeeping.
+
+CONGEST allows ``O(log n)`` bits per edge per round.  Every payload a
+program sends declares its width; the helpers here compute the widths the
+paper's algorithms need:
+
+* node identifiers — ``⌈log₂ n⌉`` bits;
+* fixed-point probabilities (Algorithm 1) — multiples of ``n^{-c}`` in
+  ``[0, 1]``, i.e. ``⌈c·log₂ n⌉ + 1`` bits;
+* small counters — ``⌈log₂(max+1)⌉`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "id_bits", "int_bits", "fixed_point_bits"]
+
+
+def id_bits(n: int) -> int:
+    """Bits to name one of ``n`` nodes."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return max(1, math.ceil(math.log2(n)))
+
+
+def int_bits(max_value: int) -> int:
+    """Bits for a non-negative integer up to ``max_value`` inclusive."""
+    if max_value < 0:
+        raise ValueError("max_value must be >= 0")
+    return max(1, math.ceil(math.log2(max_value + 1)))
+
+
+def fixed_point_bits(n: int, c: int) -> int:
+    """Bits for a value in ``[0, 1]`` stored as a multiple of ``n^{-c}``.
+
+    ``n^c`` grid points plus the endpoint — ``⌈c·log₂ n⌉ + 1`` bits.
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    return c * id_bits(n) + 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One payload traversing one edge in one round.
+
+    Attributes
+    ----------
+    value:
+        The payload (any Python object; programs agree on its meaning).
+    bits:
+        Declared width.  The engine rejects messages wider than the
+        network's per-edge budget — this is what *enforces* CONGEST.
+    """
+
+    value: Any
+    bits: int
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError("a message carries at least one bit")

@@ -1,0 +1,85 @@
+"""Cost accounting for the CONGEST simulator.
+
+The unit the paper's theorems bound is the **round**; the ledger also tracks
+message and bit totals (interesting for the CONGEST-vs-LOCAL discussion in
+§4, footnote 10) and a per-phase breakdown so Theorem 1's three cost terms
+(BFS construction, Algorithm 1 flooding, binary-search aggregation) can be
+reported separately by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseCost", "CostLedger"]
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated cost of one named phase."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+
+    def add(self, rounds: int = 0, messages: int = 0, bits: int = 0) -> None:
+        self.rounds += rounds
+        self.messages += messages
+        self.bits += bits
+
+
+@dataclass
+class CostLedger:
+    """Total and per-phase CONGEST costs of a run.
+
+    All charging goes through :meth:`charge`, which both layers call — the
+    faithful engine once per simulated round, the fast layer once per
+    primitive with the primitive's round formula.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+
+    def charge(
+        self,
+        rounds: int = 0,
+        messages: int = 0,
+        bits: int = 0,
+        phase: str = "other",
+    ) -> None:
+        """Record ``rounds`` rounds / ``messages`` messages / ``bits`` bits
+        under ``phase``."""
+        if rounds < 0 or messages < 0 or bits < 0:
+            raise ValueError("costs must be non-negative")
+        self.rounds += rounds
+        self.messages += messages
+        self.bits += bits
+        self.phases.setdefault(phase, PhaseCost()).add(rounds, messages, bits)
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger into this one (phase-wise)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.bits += other.bits
+        for name, cost in other.phases.items():
+            self.phases.setdefault(name, PhaseCost()).add(
+                cost.rounds, cost.messages, cost.bits
+            )
+
+    def phase_rounds(self, phase: str) -> int:
+        """Rounds charged to ``phase`` (0 if the phase never ran)."""
+        return self.phases.get(phase, PhaseCost()).rounds
+
+    def summary(self) -> str:
+        """Multi-line human-readable breakdown."""
+        lines = [
+            f"total: rounds={self.rounds} messages={self.messages} bits={self.bits}"
+        ]
+        for name in sorted(self.phases):
+            c = self.phases[name]
+            lines.append(
+                f"  {name}: rounds={c.rounds} messages={c.messages} bits={c.bits}"
+            )
+        return "\n".join(lines)

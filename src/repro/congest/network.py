@@ -1,0 +1,85 @@
+"""The :class:`CongestNetwork`: a graph plus a bandwidth budget and a ledger.
+
+The network object is what the paper's algorithms take as input.  It owns:
+
+* the topology (a :class:`repro.graphs.Graph`);
+* the per-edge-per-round bandwidth ``bandwidth_bits`` (``O(log n)``:
+  ``bandwidth_factor · ⌈log₂ n⌉``, default factor 16 — enough for one
+  fixed-point probability with ``c ≤ 15`` or a constant number of ids);
+* a :class:`~repro.congest.metrics.CostLedger`;
+* the execution ``mode``: ``"fast"`` (vectorized) or ``"faithful"``
+  (per-node engine).  Primitives branch on it; results and charged rounds
+  are identical by construction and verified by tests.
+"""
+
+from __future__ import annotations
+
+from repro.congest.metrics import CostLedger
+from repro.congest.message import id_bits
+from repro.errors import CongestViolationError
+from repro.graphs.base import Graph
+
+__all__ = ["CongestNetwork"]
+
+_MODES = ("fast", "faithful")
+
+
+class CongestNetwork:
+    """A CONGEST-model network over ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Connected topology; node ids double as CONGEST identifiers (the
+        paper assumes distinct ids, e.g. IP addresses).
+    bandwidth_factor:
+        Per-edge budget in units of ``⌈log₂ n⌉`` bits (the constant inside
+        the model's ``O(log n)``).
+    mode:
+        ``"fast"`` or ``"faithful"`` — see module docstring.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        bandwidth_factor: int = 16,
+        mode: str = "fast",
+    ):
+        graph.require_connected()
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if bandwidth_factor < 1:
+            raise ValueError("bandwidth_factor must be >= 1")
+        self.graph = graph
+        self.mode = mode
+        self.bandwidth_factor = bandwidth_factor
+        self.bandwidth_bits = bandwidth_factor * id_bits(graph.n)
+        self.ledger = CostLedger()
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.graph.n
+
+    def check_bits(self, bits: int) -> int:
+        """Validate one message width against the per-edge budget."""
+        if bits > self.bandwidth_bits:
+            raise CongestViolationError(
+                f"message of {bits} bits exceeds the per-edge budget of "
+                f"{self.bandwidth_bits} bits "
+                f"({self.bandwidth_factor}·⌈log₂ {self.n}⌉)"
+            )
+        return bits
+
+    def reset_ledger(self) -> CostLedger:
+        """Swap in a fresh ledger; return the old one."""
+        old = self.ledger
+        self.ledger = CostLedger()
+        return old
+
+    def __repr__(self) -> str:
+        return (
+            f"CongestNetwork({self.graph.name!r}, mode={self.mode!r}, "
+            f"bandwidth={self.bandwidth_bits} bits/edge/round)"
+        )

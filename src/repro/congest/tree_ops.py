@@ -1,0 +1,211 @@
+"""Tree broadcast and convergecast (paper §3.1 aggregation primitives).
+
+Both primitives run over a :class:`~repro.congest.bfs.BFSTree` and cost
+``height`` rounds (one sweep down or up the tree); each tree edge carries
+exactly one message, so ``size − 1`` messages total.
+
+``convergecast`` supports vector payloads: ``values`` may be shape ``(n,)``
+or ``(n, k)`` with the aggregation applied column-wise and one message
+carrying all ``k`` components (``k·bits_each`` bits — the caller keeps ``k``
+constant, so messages stay ``O(log n)``).  This is how the paper ships
+``(x_min, x_max)`` up the tree in a single convergecast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.congest.bfs import BFSTree
+from repro.congest.engine import NodeProgram, SyncEngine
+from repro.congest.message import Message
+from repro.congest.network import CongestNetwork
+
+__all__ = [
+    "broadcast_value",
+    "convergecast",
+    "convergecast_sum",
+    "convergecast_min",
+    "convergecast_max",
+    "convergecast_count",
+]
+
+_OPS: dict[str, Callable] = {
+    "sum": lambda arr: arr.sum(axis=0),
+    "min": lambda arr: arr.min(axis=0),
+    "max": lambda arr: arr.max(axis=0),
+}
+
+
+def broadcast_value(
+    net: CongestNetwork,
+    tree: BFSTree,
+    value,
+    bits: int,
+    *,
+    phase: str = "broadcast",
+):
+    """Send ``value`` from the root to every tree node; returns ``value``.
+
+    Costs ``tree.height`` rounds, ``size − 1`` messages of ``bits`` bits.
+    """
+    net.check_bits(bits)
+    if net.mode == "fast":
+        net.ledger.charge(
+            rounds=tree.height,
+            messages=tree.size - 1,
+            bits=(tree.size - 1) * bits,
+            phase=phase,
+        )
+        return value
+
+    programs = [_BroadcastProgram(tree, value, bits) for _ in range(net.n)]
+    SyncEngine(net, phase=phase).run(programs, max_rounds=tree.height + 1)
+    # Every tree node must have received the value.
+    for u in np.flatnonzero(tree.in_tree):
+        got = programs[int(u)].value
+        if got is None:
+            raise AssertionError(f"broadcast failed to reach node {u}")
+    return programs[tree.source].value
+
+
+class _BroadcastProgram(NodeProgram):
+    def __init__(self, tree: BFSTree, value, bits: int):
+        self.tree = tree
+        self.bits = bits
+        self.value = None
+        self._root_value = value
+
+    def setup(self) -> None:
+        if not self.tree.in_tree[self.node]:
+            self.halted = True
+            return
+        if self.node == self.tree.source:
+            self.value = self._root_value
+        if self.tree.children[self.node].size == 0 and self.value is not None:
+            self.halted = True  # lone root
+
+    def send(self, round_no: int):
+        # A node at depth d forwards in round d+1 (it received in round d).
+        if self.value is None or round_no != self.tree.depth[self.node] + 1:
+            return {}
+        out = {
+            int(v): Message(self.value, self.bits)
+            for v in self.tree.children[self.node]
+        }
+        self.halted = True
+        return out
+
+    def receive(self, round_no: int, inbox) -> None:
+        parent = self.tree.parent[self.node]
+        if parent >= 0 and parent in inbox:
+            self.value = inbox[parent].value
+            if self.tree.children[self.node].size == 0:
+                self.halted = True  # leaf: nothing to forward
+
+
+def convergecast(
+    net: CongestNetwork,
+    tree: BFSTree,
+    values: np.ndarray,
+    op: str,
+    bits_each: int,
+    *,
+    phase: str = "convergecast",
+) -> np.ndarray:
+    """Aggregate ``values`` (shape ``(n,)`` or ``(n, k)``) up the tree with
+    ``op`` ∈ {"sum", "min", "max"}; returns the root's aggregate
+    (scalar-shaped ``(k,)`` array, or 0-d for flat input).
+
+    Costs ``tree.height`` rounds and ``size − 1`` messages of
+    ``k·bits_each`` bits.
+    """
+    if op not in _OPS:
+        raise ValueError(f"op must be one of {sorted(_OPS)}")
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.ndim == 1
+    if flat:
+        values = values[:, None]
+    if values.shape[0] != net.n:
+        raise ValueError("values must have one row per node")
+    k = values.shape[1]
+    msg_bits = net.check_bits(k * bits_each)
+
+    if net.mode == "fast":
+        net.ledger.charge(
+            rounds=tree.height,
+            messages=tree.size - 1,
+            bits=(tree.size - 1) * msg_bits,
+            phase=phase,
+        )
+        result = _OPS[op](values[tree.in_tree])
+        return result[0] if flat else result
+
+    programs = [
+        _ConvergecastProgram(tree, values[u], op, msg_bits) for u in range(net.n)
+    ]
+    SyncEngine(net, phase=phase).run(programs, max_rounds=tree.height + 1)
+    result = np.asarray(programs[tree.source].acc, dtype=np.float64)
+    return result[0] if flat else result
+
+
+class _ConvergecastProgram(NodeProgram):
+    def __init__(self, tree: BFSTree, own: np.ndarray, op: str, bits: int):
+        self.tree = tree
+        self.op = op
+        self.bits = bits
+        self.acc = np.array(own, dtype=np.float64, copy=True)
+        self.pending: set[int] | None = None
+
+    def setup(self) -> None:
+        if not self.tree.in_tree[self.node]:
+            self.halted = True
+            return
+        self.pending = set(int(v) for v in self.tree.children[self.node])
+        if self.node == self.tree.source and not self.pending:
+            self.halted = True  # lone root
+
+    def send(self, round_no: int):
+        if self.pending or self.node == self.tree.source:
+            return {}
+        parent = int(self.tree.parent[self.node])
+        self.halted = True
+        return {parent: Message(self.acc.copy(), self.bits)}
+
+    def receive(self, round_no: int, inbox) -> None:
+        if self.pending is None:
+            return
+        for u, msg in inbox.items():
+            if u in self.pending:
+                self.pending.discard(u)
+                incoming = np.asarray(msg.value, dtype=np.float64)
+                if self.op == "sum":
+                    self.acc = self.acc + incoming
+                elif self.op == "min":
+                    self.acc = np.minimum(self.acc, incoming)
+                else:
+                    self.acc = np.maximum(self.acc, incoming)
+        if self.node == self.tree.source and not self.pending:
+            self.halted = True
+
+
+def convergecast_sum(net, tree, values, bits_each, *, phase="convergecast"):
+    """Column-wise sum convergecast (see :func:`convergecast`)."""
+    return convergecast(net, tree, values, "sum", bits_each, phase=phase)
+
+
+def convergecast_min(net, tree, values, bits_each, *, phase="convergecast"):
+    """Column-wise min convergecast (see :func:`convergecast`)."""
+    return convergecast(net, tree, values, "min", bits_each, phase=phase)
+
+
+def convergecast_max(net, tree, values, bits_each, *, phase="convergecast"):
+    """Column-wise max convergecast (see :func:`convergecast`)."""
+    return convergecast(net, tree, values, "max", bits_each, phase=phase)
+
+
+def convergecast_count(net, tree, mask, bits_each, *, phase="convergecast"):
+    """Count tree nodes where ``mask`` is truthy (sum of indicators)."""
+    values = np.asarray(mask, dtype=np.float64)
+    return int(round(float(convergecast(net, tree, values, "sum", bits_each, phase=phase))))

@@ -1,0 +1,195 @@
+"""Pipelined upcast — the paper's "naive" aggregation (§3.1).
+
+    "A naive way of doing this is to upcast all the values through the BFS
+     tree edges in a pipelining manner. [...] The upcast may take Ω(n) time
+     in the worst case due to congestion in the BFS tree."
+
+Upcast ships every tree node's item to the root, one item per tree edge per
+round; with pipelining it completes in ``height + (size − 1) − 1`` rounds
+(the standard bound: depth plus the number of items minus one).  The §3.1
+binary search replaces it with ``O(height·log)`` rounds — the ablation
+benchmark ``bench_ab3`` measures exactly this crossover.
+
+The faithful layer implements true pipelining: each node forwards one
+pending item to its parent per round, draining its own item and everything
+its subtree sends up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.bfs import BFSTree
+from repro.congest.engine import NodeProgram, SyncEngine
+from repro.congest.message import Message
+from repro.congest.network import CongestNetwork
+
+__all__ = ["UpcastResult", "upcast_values", "k_smallest_sum_upcast"]
+
+
+@dataclass(frozen=True)
+class UpcastResult:
+    """All in-tree values delivered to the root.
+
+    Attributes
+    ----------
+    values:
+        ``(node, value)`` pairs in delivery order (root's own first).
+    rounds:
+        CONGEST rounds consumed.
+    """
+
+    values: list[tuple[int, float]]
+    rounds: int
+
+
+def _pipelined_rounds(tree: BFSTree) -> int:
+    """Worst-case pipelined completion time: ``height + items − 1`` where
+    ``items = size − 1`` (every non-root node ships one item)."""
+    items = tree.size - 1
+    if items == 0:
+        return 0
+    return tree.height + items - 1
+
+
+class _UpcastProgram(NodeProgram):
+    def __init__(self, tree: BFSTree, value: float, bits: int):
+        self.tree = tree
+        self.bits = bits
+        self.queue: deque[tuple[int, float]] = deque([(0, value)])
+        self.received: list[tuple[int, float]] = []
+        self.pending_children: set[int] | None = None
+
+    def setup(self) -> None:
+        if not self.tree.in_tree[self.node]:
+            self.halted = True
+            return
+        own = self.queue.popleft()
+        if self.node == self.tree.source:
+            self.received.append((self.node, own[1]))
+        else:
+            self.queue.append((self.node, own[1]))
+        self.pending_children = set(
+            int(v) for v in self.tree.children[self.node]
+        )
+        self._expect = self._subtree_size() - 1  # items still to arrive
+        if self.node == self.tree.source and self._expect == 0:
+            self.halted = True
+
+    def _subtree_size(self) -> int:
+        # Count descendants (including self) — local precomputation.
+        stack = [self.node]
+        count = 0
+        while stack:
+            u = stack.pop()
+            count += 1
+            stack.extend(int(v) for v in self.tree.children[u])
+        return count
+
+    def send(self, round_no: int):
+        if self.node == self.tree.source or not self.queue:
+            return {}
+        item = self.queue.popleft()
+        out = {
+            int(self.tree.parent[self.node]): Message(item, self.bits)
+        }
+        if not self.queue and self._expect == 0:
+            self.halted = True
+        return out
+
+    def receive(self, round_no: int, inbox) -> None:
+        for _, msg in inbox.items():
+            self._expect -= 1
+            if self.node == self.tree.source:
+                self.received.append(tuple(msg.value))
+            else:
+                self.queue.append(tuple(msg.value))
+        if (
+            self.node == self.tree.source
+            and self._expect == 0
+        ):
+            self.halted = True
+        # Non-root nodes may still have queued items; they halt in send.
+
+
+def upcast_values(
+    net: CongestNetwork,
+    tree: BFSTree,
+    values: np.ndarray,
+    bits: int,
+    *,
+    phase: str = "upcast",
+) -> UpcastResult:
+    """Ship every in-tree node's ``(id, value)`` pair to the root.
+
+    Fast layer charges the worst-case pipelined round count
+    ``height + (size−1) − 1``; the faithful layer actually pipelines and is
+    verified by tests to finish within that bound (it can finish earlier on
+    bushy trees where branches drain in parallel).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (net.n,):
+        raise ValueError("values must have one entry per node")
+    net.check_bits(bits)
+
+    if net.mode == "fast":
+        rounds = _pipelined_rounds(tree)
+        items = tree.size - 1
+        # messages: each item crosses depth(u) tree edges
+        depths = tree.depth[tree.in_tree]
+        msgs = int(depths[depths > 0].sum())
+        net.ledger.charge(
+            rounds=rounds, messages=msgs, bits=msgs * bits, phase=phase
+        )
+        nodes = np.flatnonzero(tree.in_tree)
+        pairs = [(int(u), float(values[u])) for u in nodes]
+        return UpcastResult(values=pairs, rounds=rounds)
+
+    programs = [
+        _UpcastProgram(tree, float(values[u]), bits) for u in range(net.n)
+    ]
+    engine = SyncEngine(net, phase=phase)
+    rounds = engine.run(programs, max_rounds=_pipelined_rounds(tree) + 1)
+    got = programs[tree.source].received
+    # Charge the worst-case/fast-path difference so both layers agree on
+    # the ledger (the faithful run may drain early on bushy trees; the
+    # model cost is the pipelined bound).
+    if rounds < _pipelined_rounds(tree):
+        net.ledger.charge(
+            rounds=_pipelined_rounds(tree) - rounds, phase=phase
+        )
+        rounds = _pipelined_rounds(tree)
+    return UpcastResult(values=sorted(got), rounds=rounds)
+
+
+def k_smallest_sum_upcast(
+    net: CongestNetwork,
+    tree: BFSTree,
+    values: np.ndarray,
+    k: int,
+    bits: int,
+    *,
+    virtual_value: float | None = None,
+    virtual_count: int = 0,
+    phase: str = "upcast",
+) -> float:
+    """The naive k-smallest-sum: upcast everything, sort at the source.
+
+    Same semantics as :func:`repro.congest.ksmallest.k_smallest_sum` (no
+    perturbation needed — the source sees exact values), at upcast cost
+    ``Θ(height + size)`` instead of ``Θ(height·log)``.
+    """
+    pool_size = tree.size + virtual_count
+    if not 1 <= k <= pool_size:
+        raise ValueError(f"k={k} out of range [1, {pool_size}]")
+    if virtual_count > 0 and virtual_value is None:
+        raise ValueError("virtual_count > 0 needs virtual_value")
+    res = upcast_values(net, tree, values, bits, phase=phase)
+    pool = [v for _, v in res.values]
+    if virtual_count:
+        pool.extend([float(virtual_value)] * virtual_count)
+    pool.sort()
+    return float(sum(pool[:k]))

@@ -1,0 +1,48 @@
+"""Global constants shared across the library.
+
+The defaults mirror the choices made in the paper:
+
+* ``DEFAULT_EPS`` — the accuracy parameter :math:`\\varepsilon` of
+  Definitions 1 and 2.  The paper (Section 3) fixes
+  :math:`\\varepsilon = 1/(8e)` "which is typically done".
+* ``DEFAULT_C`` — the fixed-point exponent of Algorithm 1.  Node values are
+  rounded to the nearest integer multiple of :math:`n^{-c}` every round, and
+  the paper notes that any :math:`c \\ge 6` suffices because mixing times are
+  at most :math:`O(n^3)`.
+* ``DEFAULT_BETA`` — a convenient default for the set-size parameter
+  :math:`\\beta` (local mixing over sets of size at least :math:`n/\\beta`).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Paper default accuracy parameter (Section 3): eps = 1/(8e).
+DEFAULT_EPS: float = 1.0 / (8.0 * math.e)
+
+#: Fixed-point rounding exponent used by Algorithm 1 (values are multiples of
+#: ``n**-DEFAULT_C``).  The paper requires ``c >= 6``.
+DEFAULT_C: int = 6
+
+#: Default set-size parameter: local mixing over sets of size >= n / beta.
+DEFAULT_BETA: float = 2.0
+
+#: Hard ceiling on walk lengths explored by iterative estimators.  The mixing
+#: time of any connected non-bipartite graph is O(n^3); a multiple of that is
+#: a safe upper bound that turns would-be infinite loops into clean errors.
+MAX_WALK_LENGTH_FACTOR: int = 8
+
+#: Tie-breaking perturbation interval for the distributed k-smallest search
+#: (Section 3.1): each node adds a random r_u drawn from
+#: [n**-PERTURB_HIGH_EXP, n**-PERTURB_LOW_EXP].
+PERTURB_LOW_EXP: int = 4
+PERTURB_HIGH_EXP: int = 8
+
+__all__ = [
+    "DEFAULT_EPS",
+    "DEFAULT_C",
+    "DEFAULT_BETA",
+    "MAX_WALK_LENGTH_FACTOR",
+    "PERTURB_LOW_EXP",
+    "PERTURB_HIGH_EXP",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NotRegularError",
+    "DisconnectedGraphError",
+    "BipartiteGraphError",
+    "ConvergenceError",
+    "CongestViolationError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph argument is structurally invalid for the requested operation."""
+
+
+class NotRegularError(GraphError):
+    """An algorithm that requires a regular graph received a non-regular one.
+
+    The paper's local mixing algorithms (Section 3) assume d-regular graphs;
+    the restricted stationary distribution is then uniform (1/|S|) on the set.
+    """
+
+
+class DisconnectedGraphError(GraphError):
+    """Random-walk quantities are undefined on disconnected graphs."""
+
+
+class BipartiteGraphError(GraphError):
+    """A simple (non-lazy) walk on a bipartite graph does not converge.
+
+    Mixing time is well-defined only for non-bipartite graphs (paper,
+    Section 2.1, footnote 5); use ``lazy=True`` to side-step this.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative estimator exhausted its budget without converging."""
+
+    def __init__(self, message: str, last_length: int | None = None):
+        super().__init__(message)
+        #: The largest walk length that was examined before giving up.
+        self.last_length = last_length
+
+
+class CongestViolationError(ReproError):
+    """A message exceeded the per-edge bandwidth budget of the CONGEST model."""
+
+
+class ProtocolError(ReproError):
+    """A node program violated the simulator's execution contract."""

@@ -1,0 +1,36 @@
+"""Gossip layer: synchronous push–pull token exchange (LOCAL model),
+partial information spreading (paper §4 / Theorem 3), full spreading, and
+the downstream applications (maximum coverage, leader election)."""
+
+from repro.gossip.push_pull import PushPullSimulator, TokenMatrix
+from repro.gossip.partial_spreading import (
+    PartialSpreadingResult,
+    partial_spreading_with_termination,
+    rounds_to_partial_spreading,
+    spreading_success_probability,
+)
+from repro.gossip.full_spreading import FullSpreadingResult, full_information_spreading
+from repro.gossip.phase_analysis import PhaseTrace, track_token_phases
+from repro.gossip.applications import (
+    CoverageResult,
+    LeaderElectionResult,
+    distributed_max_coverage,
+    leader_election,
+)
+
+__all__ = [
+    "PushPullSimulator",
+    "TokenMatrix",
+    "PartialSpreadingResult",
+    "rounds_to_partial_spreading",
+    "partial_spreading_with_termination",
+    "spreading_success_probability",
+    "FullSpreadingResult",
+    "full_information_spreading",
+    "PhaseTrace",
+    "track_token_phases",
+    "CoverageResult",
+    "LeaderElectionResult",
+    "distributed_max_coverage",
+    "leader_election",
+]

@@ -1,0 +1,59 @@
+"""Graph substrate: an immutable CSR-backed graph type, generators for the
+paper's graph families, and structural property computations."""
+
+from repro.graphs.base import Graph
+from repro.graphs.generators import (
+    beta_barbell,
+    binary_tree,
+    circulant,
+    clique_chain_of_expanders,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    dumbbell,
+    hypercube,
+    lollipop,
+    margulis_expander,
+    path_graph,
+    random_regular,
+    star_graph,
+    torus_2d,
+)
+from repro.graphs.properties import (
+    bfs_layers,
+    diameter,
+    eccentricity,
+    estimate_diameter_two_sweep,
+    shortest_path_lengths_from,
+)
+from repro.graphs.families import GraphFamily, FAMILIES, get_family
+from repro.graphs.render import render_beta_barbell, verify_beta_barbell
+
+__all__ = [
+    "Graph",
+    "beta_barbell",
+    "binary_tree",
+    "circulant",
+    "clique_chain_of_expanders",
+    "complete_bipartite",
+    "complete_graph",
+    "cycle_graph",
+    "dumbbell",
+    "hypercube",
+    "lollipop",
+    "margulis_expander",
+    "path_graph",
+    "random_regular",
+    "star_graph",
+    "torus_2d",
+    "bfs_layers",
+    "diameter",
+    "eccentricity",
+    "estimate_diameter_two_sweep",
+    "shortest_path_lengths_from",
+    "render_beta_barbell",
+    "verify_beta_barbell",
+    "GraphFamily",
+    "FAMILIES",
+    "get_family",
+]

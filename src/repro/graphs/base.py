@@ -1,0 +1,317 @@
+"""The core :class:`Graph` type.
+
+A :class:`Graph` is an immutable, undirected, simple graph stored in
+compressed-sparse-row (CSR) form: ``indptr`` and ``indices`` arrays exactly
+like :mod:`scipy.sparse`, which makes neighbor iteration, degree lookup and
+conversion to sparse matrices allocation-free.  All algorithms in the library
+operate on this type; conversion helpers to and from :mod:`networkx` exist
+for interoperability and for cross-checking in tests.
+
+Nodes are always the integers ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DisconnectedGraphError, GraphError, NotRegularError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Immutable undirected simple graph on nodes ``0..n-1`` in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicate edges and
+        both orientations of the same edge are collapsed.
+    name:
+        Optional human-readable name used in reprs and experiment tables.
+
+    Notes
+    -----
+    The constructor is ``O(m log m)`` (sorting).  Use
+    :meth:`from_csr` to adopt pre-built CSR arrays without re-sorting, and
+    :meth:`from_adjacency` / :meth:`from_networkx` for other formats.
+    """
+
+    __slots__ = ("_n", "_indptr", "_indices", "name", "__dict__", "__weakref__")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        *,
+        name: str | None = None,
+    ):
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphError("edges must be (u, v) pairs")
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+            raise GraphError("edge endpoint out of range")
+        if np.any(pairs[:, 0] == pairs[:, 1]):
+            raise GraphError("self-loops are not allowed")
+        # Canonicalize: undirected means store both (u,v) and (v,u); dedupe.
+        both = np.concatenate([pairs, pairs[:, ::-1]], axis=0)
+        # Dedupe via a structured sort on (u, v).
+        order = np.lexsort((both[:, 1], both[:, 0]))
+        both = both[order]
+        if both.shape[0]:
+            keep = np.ones(both.shape[0], dtype=bool)
+            keep[1:] = np.any(both[1:] != both[:-1], axis=1)
+            both = both[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, both[:, 0] + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        self._n = int(n)
+        self._indptr = indptr
+        self._indices = np.ascontiguousarray(both[:, 1])
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+        self.name = name or f"graph(n={n}, m={self._indices.size // 2})"
+
+    # ------------------------------------------------------------------ #
+    # Alternate constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        name: str | None = None,
+        validate: bool = True,
+    ) -> "Graph":
+        """Adopt CSR arrays directly (must already be symmetric, sorted,
+        loop-free and duplicate-free).  ``O(m)`` with ``validate=True``."""
+        g = cls.__new__(cls)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        n = indptr.size - 1
+        if n <= 0:
+            raise GraphError("indptr must have length n+1 >= 2")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphError("malformed indptr")
+        g._n = int(n)
+        g._indptr = indptr
+        g._indices = indices
+        g._indptr.setflags(write=False)
+        g._indices.setflags(write=False)
+        g.name = name or f"graph(n={n}, m={indices.size // 2})"
+        if validate:
+            adj = g.adjacency_matrix()
+            if (adj != adj.T).nnz:
+                raise GraphError("CSR arrays are not symmetric")
+            if adj.diagonal().any():
+                raise GraphError("self-loops are not allowed")
+        return g
+
+    @classmethod
+    def from_adjacency(cls, adj, *, name: str | None = None) -> "Graph":
+        """Build from a dense or sparse 0/1 adjacency matrix."""
+        A = sp.csr_matrix(adj)
+        A.eliminate_zeros()
+        coo = A.tocoo()
+        mask = coo.row < coo.col
+        return cls(
+            A.shape[0],
+            list(zip(coo.row[mask].tolist(), coo.col[mask].tolist())),
+            name=name,
+        )
+
+    @classmethod
+    def from_networkx(cls, nxg, *, name: str | None = None) -> "Graph":
+        """Convert a :class:`networkx.Graph`; nodes are relabelled ``0..n-1``
+        in sorted order of the original labels."""
+        nodes = sorted(nxg.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nxg.edges() if u != v]
+        return cls(len(nodes), edges, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of (undirected) edges."""
+        return self._indices.size // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (read-only view), length ``n+1``."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array (read-only view), length ``2m``."""
+        return self._indices
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Vector of node degrees, length ``n`` (read-only)."""
+        deg = np.diff(self._indptr)
+        deg.setflags(write=False)
+        return deg
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbor array of node ``u`` (read-only view)."""
+        return self._indices[self._indptr[u] : self._indptr[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """``True`` iff ``{u, v}`` is an edge."""
+        nb = self.neighbors(u)
+        i = np.searchsorted(nb, v)
+        return bool(i < nb.size and nb[i] == v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    @cached_property
+    def volume(self) -> int:
+        """Total volume ``µ(V) = Σ d(v) = 2m``."""
+        return int(self._indices.size)
+
+    # ------------------------------------------------------------------ #
+    # Structure predicates
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def is_regular(self) -> bool:
+        """``True`` iff every node has the same degree."""
+        deg = self.degrees
+        return bool(deg.size == 0 or np.all(deg == deg[0]))
+
+    @property
+    def regular_degree(self) -> int:
+        """The common degree ``d``; raises :class:`NotRegularError` otherwise."""
+        if not self.is_regular:
+            raise NotRegularError(f"{self.name} is not regular")
+        return int(self.degrees[0]) if self._n else 0
+
+    @cached_property
+    def is_connected(self) -> bool:
+        """``True`` iff the graph is connected."""
+        n_comp, _ = sp.csgraph.connected_components(
+            self.adjacency_matrix(), directed=False
+        )
+        return bool(n_comp == 1)
+
+    @cached_property
+    def is_bipartite(self) -> bool:
+        """``True`` iff the graph is 2-colorable (BFS 2-coloring)."""
+        color = np.full(self._n, -1, dtype=np.int8)
+        for start in range(self._n):
+            if color[start] != -1:
+                continue
+            color[start] = 0
+            frontier = [start]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    cu = color[u]
+                    for v in self.neighbors(u):
+                        if color[v] == -1:
+                            color[v] = 1 - cu
+                            nxt.append(int(v))
+                        elif color[v] == cu:
+                            return False
+                frontier = nxt
+        return True
+
+    def require_connected(self) -> None:
+        """Raise :class:`DisconnectedGraphError` if disconnected."""
+        if not self.is_connected:
+            raise DisconnectedGraphError(f"{self.name} is not connected")
+
+    # ------------------------------------------------------------------ #
+    # Matrix views and derived graphs
+    # ------------------------------------------------------------------ #
+
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Binary adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        data = np.ones(self._indices.size, dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self._indices, self._indptr), shape=(self._n, self._n)
+        )
+
+    def induced_subgraph(self, nodes: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(H, mapping)`` where ``H`` has ``len(nodes)`` nodes and
+        ``mapping[i]`` is the original label of ``H``'s node ``i``.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size == 0:
+            raise GraphError("induced subgraph needs at least one node")
+        if nodes[0] < 0 or nodes[-1] >= self._n:
+            raise GraphError("node label out of range")
+        pos = -np.ones(self._n, dtype=np.int64)
+        pos[nodes] = np.arange(nodes.size)
+        edges = []
+        for new_u, u in enumerate(nodes):
+            for v in self.neighbors(int(u)):
+                nv = pos[v]
+                if nv > new_u:
+                    edges.append((new_u, int(nv)))
+        return (
+            Graph(nodes.size, edges, name=f"{self.name}[{nodes.size} nodes]"),
+            nodes,
+        )
+
+    def to_networkx(self):
+        """Convert to :class:`networkx.Graph` (imported lazily)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self.name!r}, n={self._n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._indices.tobytes()))

@@ -1,0 +1,156 @@
+"""Parameterized graph families with the paper's §2.3 theory predictions.
+
+Each :class:`GraphFamily` bundles a generator with the asymptotic growth the
+paper claims for the mixing time and the local mixing time, so the benchmark
+harness can print "claimed vs. measured" rows uniformly.  Exponents are with
+respect to the sweep variable ``n`` (number of nodes) with everything else
+held fixed unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graphs.base import Graph
+from repro.graphs import generators as gen
+
+__all__ = ["GraphFamily", "FAMILIES", "get_family"]
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """A graph family plus the paper's predicted scaling.
+
+    Attributes
+    ----------
+    key:
+        Short identifier used by benchmarks (``"path"``, ``"barbell"``, …).
+    description:
+        One-line description with the paper reference.
+    build:
+        ``build(n, beta, seed) -> Graph`` — generators may round ``n`` to the
+        nearest feasible size (e.g. β must divide n for the barbell); callers
+        must read the true size off the returned graph.
+    mixing_exponent:
+        Claimed growth exponent of ``τ_mix`` in ``n`` (``None`` = constant
+        or logarithmic, checked separately).
+    local_mixing_exponent:
+        Claimed growth exponent of ``τ_s(β, ·)`` in ``n`` for fixed β.
+    notes:
+        Free-text caveats that EXPERIMENTS.md repeats.
+    """
+
+    key: str
+    description: str
+    build: Callable[[int, int, object], Graph]
+    mixing_exponent: float | None
+    local_mixing_exponent: float | None
+    lazy: bool = False
+    notes: str = ""
+
+
+def _build_complete(n: int, beta: int, seed) -> Graph:
+    return gen.complete_graph(max(n, 2))
+
+
+def _build_path(n: int, beta: int, seed) -> Graph:
+    return gen.path_graph(max(n, 2))
+
+
+def _build_cycle(n: int, beta: int, seed) -> Graph:
+    # Odd cycle so the simple walk is aperiodic.
+    n = max(n, 3)
+    if n % 2 == 0:
+        n += 1
+    return gen.cycle_graph(n)
+
+
+def _build_expander(n: int, beta: int, seed) -> Graph:
+    n = max(n, 10)
+    if n % 2:
+        n += 1
+    return gen.random_regular(n, 8, seed=seed)
+
+
+def _build_barbell(n: int, beta: int, seed) -> Graph:
+    k = max(n // beta, 2)
+    return gen.beta_barbell(beta, k)
+
+
+def _build_expander_chain(n: int, beta: int, seed) -> Graph:
+    k = max(n // beta, 10)
+    return gen.clique_chain_of_expanders(beta, k, seed=seed)
+
+
+def _build_torus(n: int, beta: int, seed) -> Graph:
+    import math
+
+    side = max(int(round(math.sqrt(max(n, 9)))), 3)
+    return gen.torus_2d(side, side)
+
+
+FAMILIES: dict[str, GraphFamily] = {
+    f.key: f
+    for f in [
+        GraphFamily(
+            key="complete",
+            description="Complete graph K_n — §2.3(a): τ_mix = τ_local = 1",
+            build=_build_complete,
+            mixing_exponent=0.0,
+            local_mixing_exponent=0.0,
+        ),
+        GraphFamily(
+            key="expander",
+            description="Random 8-regular graph — §2.3(b): both Θ(log n)",
+            build=_build_expander,
+            mixing_exponent=0.0,
+            local_mixing_exponent=0.0,
+            notes="logarithmic growth; slope fit should be ≈ 0 with log lift",
+        ),
+        GraphFamily(
+            key="path",
+            description="Path P_n — §2.3(c): τ_mix = Θ(n²), τ_local = Θ(n²/β²)",
+            build=_build_path,
+            mixing_exponent=2.0,
+            local_mixing_exponent=2.0,
+            lazy=True,
+            notes="path is bipartite; the lazy walk is used (paper fn. 5)",
+        ),
+        GraphFamily(
+            key="barbell",
+            description="β-barbell (Figure 1) — §2.3(d): τ_mix = Ω(β²), τ_local = O(1)",
+            build=_build_barbell,
+            mixing_exponent=None,
+            local_mixing_exponent=0.0,
+            notes="sweep is over β with fixed clique size for the Ω(β²) claim",
+        ),
+        GraphFamily(
+            key="expander_chain",
+            description="Chain of β expander blocks — §2.3(d) last remark",
+            build=_build_expander_chain,
+            mixing_exponent=None,
+            local_mixing_exponent=0.0,
+            notes="local mixing = block mixing = Θ(log(n/β))",
+        ),
+        GraphFamily(
+            key="torus",
+            description="2-D torus — τ_mix = Θ(n) (not in paper; control family)",
+            build=_build_torus,
+            mixing_exponent=1.0,
+            local_mixing_exponent=1.0,
+            lazy=True,
+            notes="bipartite for even sides; lazy walk used",
+        ),
+    ]
+}
+
+
+def get_family(key: str) -> GraphFamily:
+    """Look up a family by key, with a helpful error listing valid keys."""
+    try:
+        return FAMILIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {key!r}; available: {sorted(FAMILIES)}"
+        ) from None

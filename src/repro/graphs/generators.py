@@ -1,0 +1,294 @@
+"""Generators for every graph family used by the paper and its experiments.
+
+The central one is :func:`beta_barbell` — the paper's **Figure 1**: a path of
+``beta`` equal-sized cliques.  Section 2.3 compares local vs. global mixing on
+the complete graph, d-regular expanders, the path, and the β-barbell; all are
+here, plus the standard suspects (cycle, hypercube, torus, lollipop,
+dumbbell…) used for wider test coverage.
+
+All generators return :class:`repro.graphs.Graph` with nodes ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.base import Graph
+from repro.utils.seeding import as_rng
+
+__all__ = [
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "beta_barbell",
+    "dumbbell",
+    "lollipop",
+    "star_graph",
+    "complete_bipartite",
+    "hypercube",
+    "torus_2d",
+    "circulant",
+    "binary_tree",
+    "random_regular",
+    "margulis_expander",
+    "clique_chain_of_expanders",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n`` — §2.3(a): mixing and local mixing both ``1``."""
+    if n < 2:
+        raise GraphError("complete graph needs n >= 2")
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph(n, zip(iu.tolist(), ju.tolist()), name=f"K_{n}")
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``P_n`` — §2.3(c): ``τ_mix = Θ(n²)``, ``τ_local = Θ(n²/β²)``."""
+    if n < 2:
+        raise GraphError("path needs n >= 2")
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name=f"P_{n}")
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle ``C_n`` (2-regular; bipartite iff ``n`` even)."""
+    if n < 3:
+        raise GraphError("cycle needs n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)], name=f"C_{n}")
+
+
+def beta_barbell(beta: int, clique_size: int) -> Graph:
+    """The paper's **Figure 1** graph: a path of ``beta`` equal-sized cliques.
+
+    Clique ``i`` occupies nodes ``[i*k, (i+1)*k)`` where ``k = clique_size``;
+    consecutive cliques are joined by a single *bridge edge* between the last
+    node of clique ``i`` and the first node of clique ``i+1``.
+
+    Properties (paper §2.3(d)): with ``k = n/β``, the mixing time is
+    ``Ω(β²)`` while the local mixing time (for that β) is ``O(1)`` — walks
+    mix essentially instantly inside their home clique.
+
+    Note the graph is *near*-regular (bridge endpoints have degree ``k``,
+    interior clique nodes ``k-1``); the paper treats it as the canonical
+    local-mixing example regardless.  :func:`beta_barbell_regular` in tests
+    is not needed — algorithms that require exact regularity take
+    ``require_regular=False`` on this family and use ``π_S`` with true
+    degrees.
+    """
+    if beta < 1:
+        raise GraphError("beta must be >= 1")
+    if clique_size < 2:
+        raise GraphError("clique_size must be >= 2")
+    k = clique_size
+    n = beta * k
+    edges: list[tuple[int, int]] = []
+    for b in range(beta):
+        base = b * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((base + i, base + j))
+    for b in range(beta - 1):
+        edges.append((b * k + k - 1, (b + 1) * k))
+    return Graph(n, edges, name=f"barbell(beta={beta}, k={k})")
+
+
+def dumbbell(clique_size: int, path_len: int = 0) -> Graph:
+    """Two cliques of size ``clique_size`` joined by a path of ``path_len``
+    intermediate nodes (``path_len = 0`` gives the classic barbell)."""
+    if clique_size < 2:
+        raise GraphError("clique_size must be >= 2")
+    if path_len < 0:
+        raise GraphError("path_len must be >= 0")
+    k = clique_size
+    n = 2 * k + path_len
+    edges: list[tuple[int, int]] = []
+    for base in (0, k + path_len):
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((base + i, base + j))
+    chain = [k - 1] + [k + i for i in range(path_len)] + [k + path_len]
+    edges.extend((chain[i], chain[i + 1]) for i in range(len(chain) - 1))
+    return Graph(n, edges, name=f"dumbbell(k={k}, path={path_len})")
+
+
+def lollipop(clique_size: int, tail_len: int) -> Graph:
+    """Lollipop: clique ``K_k`` with a path of ``tail_len`` nodes attached."""
+    if clique_size < 2:
+        raise GraphError("clique_size must be >= 2")
+    if tail_len < 1:
+        raise GraphError("tail_len must be >= 1")
+    k = clique_size
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    prev = k - 1
+    for t in range(tail_len):
+        edges.append((prev, k + t))
+        prev = k + t
+    return Graph(k + tail_len, edges, name=f"lollipop(k={k}, tail={tail_len})")
+
+
+def star_graph(n: int) -> Graph:
+    """Star ``K_{1,n-1}`` (bipartite; simple walk does not mix)."""
+    if n < 2:
+        raise GraphError("star needs n >= 2")
+    return Graph(n, [(0, i) for i in range(1, n)], name=f"star_{n}")
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite ``K_{a,b}``."""
+    if a < 1 or b < 1:
+        raise GraphError("both sides need >= 1 node")
+    return Graph(
+        a + b,
+        [(i, a + j) for i in range(a) for j in range(b)],
+        name=f"K_{{{a},{b}}}",
+    )
+
+
+def hypercube(dim: int) -> Graph:
+    """``dim``-dimensional hypercube (``2**dim`` nodes, ``dim``-regular,
+    bipartite — used with the lazy walk)."""
+    if dim < 1:
+        raise GraphError("dim must be >= 1")
+    n = 1 << dim
+    edges = [(u, u ^ (1 << b)) for u in range(n) for b in range(dim) if u < u ^ (1 << b)]
+    return Graph(n, edges, name=f"Q_{dim}")
+
+
+def torus_2d(rows: int, cols: int) -> Graph:
+    """2-D torus grid (4-regular when both sides ≥ 3)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus needs both sides >= 3")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((node(r, c), node(r, (c + 1) % cols)))
+            edges.append((node(r, c), node((r + 1) % rows, c)))
+    return Graph(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def circulant(n: int, offsets: list[int]) -> Graph:
+    """Circulant graph: node ``i`` adjacent to ``i ± o (mod n)`` per offset."""
+    if n < 3:
+        raise GraphError("circulant needs n >= 3")
+    edges = set()
+    for o in offsets:
+        o = o % n
+        if o == 0:
+            raise GraphError("offset 0 would create self-loops")
+        for i in range(n):
+            j = (i + o) % n
+            edges.add((min(i, j), max(i, j)))
+    return Graph(n, sorted(edges), name=f"circulant({n}, {sorted(set(offsets))})")
+
+
+def binary_tree(height: int) -> Graph:
+    """Complete binary tree of the given height (``2**(h+1) - 1`` nodes)."""
+    if height < 1:
+        raise GraphError("height must be >= 1")
+    n = (1 << (height + 1)) - 1
+    edges = [(p, c) for c in range(1, n) for p in [(c - 1) // 2]]
+    return Graph(n, edges, name=f"btree(h={height})")
+
+
+def random_regular(n: int, d: int, *, seed=None, max_tries: int = 64) -> Graph:
+    """Uniform-ish random ``d``-regular simple graph; with overwhelming
+    probability an expander — §2.3(b): both mixing and local mixing are
+    ``Θ(log n)``.
+
+    Uses networkx's pairing-with-repair generator (plain rejection sampling
+    is hopeless for ``d ≳ 6``: the simple-graph probability is
+    ``e^{-Θ(d²)}``), retrying with fresh sub-seeds until connected.
+    """
+    if n * d % 2:
+        raise GraphError("n*d must be even")
+    if d >= n:
+        raise GraphError("need d < n")
+    if d < 1:
+        raise GraphError("need d >= 1")
+    import networkx as nx
+
+    rng = as_rng(seed)
+    for _ in range(max_tries):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        nxg = nx.random_regular_graph(d, n, seed=sub_seed)
+        g = Graph.from_networkx(nxg, name=f"random_regular(n={n}, d={d})")
+        if g.is_connected:
+            return g
+    raise GraphError(
+        f"could not generate a connected {d}-regular graph on {n} nodes "
+        f"in {max_tries} tries"
+    )
+
+
+def margulis_expander(side: int) -> Graph:
+    """Margulis–Gabber–Galil expander on ``Z_m × Z_m`` (``m = side``).
+
+    Node ``(x, y)`` connects to ``(x±2y, y)``, ``(x±(2y+1), y)``,
+    ``(x, y±2x)``, ``(x, y±(2x+1))`` (mod m).  8-regular as a multigraph;
+    we collapse parallels so degrees are ≤ 8, and the spectral gap is
+    bounded away from zero — a deterministic expander for experiments.
+    """
+    if side < 2:
+        raise GraphError("side must be >= 2")
+    m = side
+    n = m * m
+
+    def node(x: int, y: int) -> int:
+        return (x % m) * m + (y % m)
+
+    edges = set()
+    for x in range(m):
+        for y in range(m):
+            u = node(x, y)
+            for vx, vy in (
+                (x + 2 * y, y),
+                (x - 2 * y, y),
+                (x + 2 * y + 1, y),
+                (x - 2 * y - 1, y),
+                (x, y + 2 * x),
+                (x, y - 2 * x),
+                (x, y + 2 * x + 1),
+                (x, y - 2 * x - 1),
+            ):
+                v = node(vx, vy)
+                if v != u:
+                    edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=f"margulis({m}x{m})")
+
+
+def clique_chain_of_expanders(
+    num_blocks: int, block_size: int, d: int = 8, *, seed=None
+) -> Graph:
+    """β connected expander blocks chained by single bridge edges.
+
+    The paper (§2.3(d), last sentence) points at this family: components with
+    very small internal mixing time connected via a path have a large gap
+    between global and local mixing time.
+    """
+    if num_blocks < 1:
+        raise GraphError("need >= 1 block")
+    if block_size < 3:
+        raise GraphError("block_size must be >= 3")
+    d_eff = min(d, block_size - 1)
+    if (block_size * d_eff) % 2:
+        d_eff -= 1
+    if d_eff < 2:
+        raise GraphError("blocks would be too sparse to be expanders")
+    rng = as_rng(seed)
+    edges: list[tuple[int, int]] = []
+    for b in range(num_blocks):
+        base = b * block_size
+        block = random_regular(block_size, d_eff, seed=rng)
+        edges.extend((base + u, base + v) for u, v in block.edges())
+    for b in range(num_blocks - 1):
+        edges.append((b * block_size + block_size - 1, (b + 1) * block_size))
+    return Graph(
+        num_blocks * block_size,
+        edges,
+        name=f"expander_chain(beta={num_blocks}, k={block_size})",
+    )

@@ -1,0 +1,89 @@
+"""Structural graph properties: BFS layers, distances, diameter, eccentricity.
+
+These are the building blocks both for the CONGEST simulator's ground truth
+(BFS-tree correctness is tested against :func:`shortest_path_lengths_from`)
+and for the experiment harness (the paper's bounds involve the diameter
+``D`` and the truncated diameter ``D̃ = min{τ_s, D}``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = [
+    "shortest_path_lengths_from",
+    "bfs_layers",
+    "eccentricity",
+    "diameter",
+    "estimate_diameter_two_sweep",
+    "degree_histogram",
+]
+
+
+def shortest_path_lengths_from(g: Graph, source: int) -> np.ndarray:
+    """Unweighted distances from ``source`` to every node (``-1`` if
+    unreachable).  Vectorized frontier BFS: ``O(n + m)``."""
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range")
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    indptr, indices = g.indptr, g.indices
+    while frontier.size:
+        level += 1
+        # Gather all neighbors of the frontier in one shot.
+        starts, ends = indptr[frontier], indptr[frontier + 1]
+        total = int(np.sum(ends - starts))
+        if total == 0:
+            break
+        nbr = np.concatenate([indices[s:e] for s, e in zip(starts, ends)])
+        nbr = nbr[dist[nbr] == -1]
+        if nbr.size == 0:
+            break
+        frontier = np.unique(nbr)
+        dist[frontier] = level
+    return dist
+
+
+def bfs_layers(g: Graph, source: int) -> list[np.ndarray]:
+    """Nodes grouped by BFS distance from ``source`` (layer 0 = source)."""
+    dist = shortest_path_lengths_from(g, source)
+    reach = dist[dist >= 0]
+    return [np.flatnonzero(dist == d) for d in range(int(reach.max()) + 1)]
+
+
+def eccentricity(g: Graph, source: int) -> int:
+    """Largest distance from ``source``; raises on disconnected graphs."""
+    dist = shortest_path_lengths_from(g, source)
+    if np.any(dist < 0):
+        from repro.errors import DisconnectedGraphError
+
+        raise DisconnectedGraphError(f"{g.name} is not connected")
+    return int(dist.max())
+
+
+def diameter(g: Graph) -> int:
+    """Exact diameter by all-pairs BFS — ``O(n(n+m))``; fine up to a few
+    thousand nodes, which covers every experiment in this repo.  For quick
+    estimates on larger graphs use :func:`estimate_diameter_two_sweep`."""
+    g.require_connected()
+    return max(eccentricity(g, s) for s in range(g.n))
+
+
+def estimate_diameter_two_sweep(g: Graph, *, start: int = 0) -> int:
+    """Classic double-sweep lower bound on the diameter (exact on trees):
+    BFS from ``start``, then BFS from the farthest node found."""
+    g.require_connected()
+    d1 = shortest_path_lengths_from(g, start)
+    far = int(np.argmax(d1))
+    d2 = shortest_path_lengths_from(g, far)
+    return int(d2.max())
+
+
+def degree_histogram(g: Graph) -> dict[int, int]:
+    """Map ``degree -> count`` (useful for experiment tables)."""
+    values, counts = np.unique(g.degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

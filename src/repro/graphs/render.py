@@ -1,0 +1,59 @@
+"""ASCII rendering of the paper's Figure 1 (the β-barbell).
+
+The figure is a structural illustration — a path of β equal-sized cliques —
+so its reproduction is a renderer that draws exactly that from the actual
+graph object (the renderer verifies it is drawing a genuine barbell rather
+than printing a canned picture).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.base import Graph
+
+__all__ = ["render_beta_barbell", "verify_beta_barbell"]
+
+
+def verify_beta_barbell(g: Graph, beta: int, clique_size: int) -> None:
+    """Raise :class:`GraphError` unless ``g`` is exactly the β-barbell with
+    the given parameters (β cliques of ``clique_size`` chained by single
+    bridge edges — the Figure 1 object)."""
+    k = clique_size
+    if g.n != beta * k:
+        raise GraphError(f"expected n = beta*k = {beta * k}, got {g.n}")
+    expected_m = beta * k * (k - 1) // 2 + (beta - 1)
+    if g.m != expected_m:
+        raise GraphError(f"expected m = {expected_m}, got {g.m}")
+    for b in range(beta):
+        base = b * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                if not g.has_edge(base + i, base + j):
+                    raise GraphError(
+                        f"missing clique edge ({base + i}, {base + j})"
+                    )
+    for b in range(beta - 1):
+        if not g.has_edge(b * k + k - 1, (b + 1) * k):
+            raise GraphError(f"missing bridge edge after clique {b}")
+
+
+def render_beta_barbell(g: Graph, beta: int, clique_size: int) -> str:
+    """Render Figure 1 for the given (verified) barbell instance.
+
+    Example output for β = 3::
+
+        (K_8)---(K_8)---(K_8)
+        nodes 0-7 | 8-15 | 16-23
+    """
+    verify_beta_barbell(g, beta, clique_size)
+    k = clique_size
+    blobs = "---".join(f"(K_{k})" for _ in range(beta))
+    ranges = " | ".join(f"{b * k}-{(b + 1) * k - 1}" for b in range(beta))
+    return (
+        f"{blobs}\n"
+        f"nodes {ranges}\n"
+        f"beta = {beta} cliques of size {k}; bridges: "
+        + ", ".join(
+            f"({b * k + k - 1},{(b + 1) * k})" for b in range(beta - 1)
+        )
+    )

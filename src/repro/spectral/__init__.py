@@ -1,0 +1,48 @@
+"""Spectral toolkit: walk operators, stationary distributions, spectral gaps,
+conductance (exact / sweep / Cheeger), and weak conductance."""
+
+from repro.spectral.transition import (
+    lazy_walk_operator,
+    transition_matrix,
+    walk_operator,
+)
+from repro.spectral.stationary import stationary_distribution, volume
+from repro.spectral.gap import spectral_gap, second_eigenvalue, eigenvalues
+from repro.spectral.conductance import (
+    graph_conductance_exact,
+    set_conductance,
+    sweep_cut_conductance,
+)
+from repro.spectral.weak_conductance import (
+    weak_conductance_exact,
+    weak_conductance_lower_bound,
+    barbell_weak_conductance,
+)
+from repro.spectral.profiles import distance_profile, eps_crossings
+from repro.spectral.bounds import (
+    cheeger_bounds,
+    mixing_time_bounds_from_gap,
+    relaxation_time,
+)
+
+__all__ = [
+    "walk_operator",
+    "lazy_walk_operator",
+    "transition_matrix",
+    "stationary_distribution",
+    "volume",
+    "spectral_gap",
+    "second_eigenvalue",
+    "eigenvalues",
+    "set_conductance",
+    "graph_conductance_exact",
+    "sweep_cut_conductance",
+    "weak_conductance_exact",
+    "weak_conductance_lower_bound",
+    "barbell_weak_conductance",
+    "distance_profile",
+    "eps_crossings",
+    "cheeger_bounds",
+    "mixing_time_bounds_from_gap",
+    "relaxation_time",
+]

@@ -1,0 +1,77 @@
+"""Textbook bounds linking spectral gap, conductance and mixing time.
+
+Paper Section 1 quotes (from Jerrum–Sinclair and Levin–Peres–Wilmer):
+
+    1/(1-λ₂) ≤ τ_mix ≤ log n/(1-λ₂)
+    Θ(1-λ₂) ≤ Φ ≤ Θ(√(1-λ₂))      (Cheeger)
+
+These are used by the experiment harness as sanity envelopes around the
+measured mixing times and by the Kempe–McSherry baseline to turn a λ₂
+estimate into a mixing-time estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.base import Graph
+from repro.spectral.gap import spectral_gap
+
+__all__ = [
+    "relaxation_time",
+    "mixing_time_bounds_from_gap",
+    "cheeger_bounds",
+    "MixingBounds",
+]
+
+
+@dataclass(frozen=True)
+class MixingBounds:
+    """Envelope ``lower ≤ τ_mix ≤ upper`` derived from the spectral gap."""
+
+    lower: float
+    upper: float
+    gap: float
+
+
+def relaxation_time(g: Graph, *, lazy: bool = False) -> float:
+    """Relaxation time ``1/(1-λ₂)`` — the lower member of the envelope."""
+    gap = spectral_gap(g, lazy=lazy, absolute=not lazy)
+    if gap <= 0:
+        return math.inf
+    return 1.0 / gap
+
+
+def mixing_time_bounds_from_gap(
+    g: Graph, eps: float, *, lazy: bool = False
+) -> MixingBounds:
+    """Spectral envelope on the ε-mixing time.
+
+    Standard bounds (LPW Thm 12.4/12.5, adapted to L1 with π_min = d_min/2m):
+
+        (1/gap - 1)·ln(1/2ε)  ≤  τ(ε)  ≤  (1/gap)·ln(n/(ε·π_min·…))
+
+    We use the simple forms the paper quotes: lower ``≈ 1/gap`` and upper
+    ``≈ log(n/ε)/gap``; exactness is not needed since these serve as sanity
+    envelopes (tests allow the measured value to sit within a constant of
+    them).
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    gap = spectral_gap(g, lazy=lazy, absolute=not lazy)
+    if gap <= 0:
+        return MixingBounds(math.inf, math.inf, gap)
+    lower = max((1.0 / gap - 1.0) * math.log(1.0 / (2.0 * eps)), 0.0)
+    upper = math.log(g.n / eps) / gap
+    return MixingBounds(lower=lower, upper=upper, gap=gap)
+
+
+def cheeger_bounds(g: Graph, *, lazy: bool = False) -> tuple[float, float]:
+    """Cheeger inequality: returns ``(gap/2, sqrt(2·gap))`` bracketing Φ(G).
+
+    (For the lazy walk the discrete Cheeger inequality reads
+    ``gap/2 ≤ Φ ≤ √(2·gap)``.)
+    """
+    gap = spectral_gap(g, lazy=lazy)
+    return gap / 2.0, math.sqrt(2.0 * gap)

@@ -1,0 +1,78 @@
+"""Eigenvalues and spectral gap of the random walk.
+
+The paper quotes the standard relations (Section 1)
+
+    1/(1-λ₂)  ≤  τ_mix  ≤  log n / (1-λ₂)        and
+    Θ(1-λ₂)   ≤  Φ      ≤  Θ(√(1-λ₂)),
+
+where λ₂ is the second largest eigenvalue of the walk matrix.  This module
+computes the spectrum of the *symmetrized* walk operator
+``N = D^{-1/2} A D^{-1/2}`` (similar to ``P``, hence same spectrum, but
+symmetric so `eigh`/`eigsh` apply and eigenvalues are real).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.base import Graph
+
+__all__ = ["eigenvalues", "second_eigenvalue", "spectral_gap"]
+
+#: Above this size, switch from dense ``eigh`` to sparse Lanczos.
+_DENSE_LIMIT = 600
+
+
+def _normalized_adjacency(g: Graph, *, lazy: bool) -> sp.csr_matrix:
+    deg = g.degrees.astype(np.float64)
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    A = g.adjacency_matrix()
+    N = sp.diags(inv_sqrt) @ A @ sp.diags(inv_sqrt)
+    if lazy:
+        N = (sp.identity(g.n, format="csr") + N) * 0.5
+    return N.tocsr()
+
+
+def eigenvalues(g: Graph, *, lazy: bool = False, k: int | None = None) -> np.ndarray:
+    """Eigenvalues of the walk matrix, descending.
+
+    ``k=None`` returns all ``n`` eigenvalues (dense path; ``O(n³)``, intended
+    for ``n ≲ 2000``).  With ``k`` set, returns the ``k`` largest by
+    magnitude via Lanczos (adds ``λ=1`` which Lanczos always finds first).
+    """
+    g.require_connected()
+    N = _normalized_adjacency(g, lazy=lazy)
+    if k is None:
+        vals = np.linalg.eigvalsh(N.toarray())
+        return vals[::-1]
+    k = min(k, g.n - 2)
+    vals = spla.eigsh(N, k=max(k, 1), which="LA", return_eigenvectors=False)
+    return np.sort(vals)[::-1]
+
+
+def second_eigenvalue(g: Graph, *, lazy: bool = False) -> float:
+    """λ₂: the second largest eigenvalue of the walk matrix."""
+    if g.n <= _DENSE_LIMIT:
+        return float(eigenvalues(g, lazy=lazy)[1])
+    vals = eigenvalues(g, lazy=lazy, k=2)
+    return float(vals[1])
+
+
+def spectral_gap(g: Graph, *, lazy: bool = False, absolute: bool = False) -> float:
+    """Spectral gap ``1 - λ₂`` (or ``1 - max(λ₂, |λ_n|)`` with
+    ``absolute=True``, which governs mixing of the simple walk)."""
+    if g.n <= _DENSE_LIMIT:
+        vals = eigenvalues(g, lazy=lazy)
+        lam2 = float(vals[1])
+        lam_n = float(vals[-1])
+    else:
+        N = _normalized_adjacency(g, lazy=lazy)
+        top = spla.eigsh(N, k=2, which="LA", return_eigenvectors=False)
+        lam2 = float(np.sort(top)[0])
+        bot = spla.eigsh(N, k=1, which="SA", return_eigenvectors=False)
+        lam_n = float(bot[0])
+    if absolute:
+        return 1.0 - max(lam2, abs(lam_n))
+    return 1.0 - lam2

@@ -1,0 +1,52 @@
+"""Distance-to-stationarity profiles ``d(t) = ‖p_t − π‖₁``.
+
+The textbook mixing profile: useful for plotting, for locating ε-crossings
+at several ε at once, and as the global counterpart of
+:func:`repro.walks.local_mixing.local_mixing_profile` in the monotonicity
+experiment (M1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BipartiteGraphError
+from repro.graphs.base import Graph
+from repro.spectral.stationary import stationary_distribution
+from repro.walks.distribution import distribution_trajectory
+
+__all__ = ["distance_profile", "eps_crossings"]
+
+
+def distance_profile(
+    g: Graph, source: int, t_max: int, *, lazy: bool = False
+) -> np.ndarray:
+    """``d(t)`` for ``t = 0..t_max`` (length ``t_max + 1``).
+
+    By Lemma 1 the returned sequence is non-increasing; a test asserts it.
+    """
+    if t_max < 0:
+        raise ValueError("t_max must be non-negative")
+    if not lazy and g.is_bipartite:
+        raise BipartiteGraphError(f"{g.name} is bipartite; pass lazy=True")
+    pi = stationary_distribution(g)
+    out = np.empty(t_max + 1, dtype=np.float64)
+    for t, p in distribution_trajectory(g, source, lazy=lazy, t_max=t_max):
+        out[t] = float(np.abs(p - pi).sum())
+    return out
+
+
+def eps_crossings(
+    profile: np.ndarray, eps_values
+) -> dict[float, int | None]:
+    """First index where the (non-increasing) profile drops below each ε.
+
+    ``None`` when the profile never crosses within its length — callers
+    extend ``t_max`` and retry.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    out: dict[float, int | None] = {}
+    for eps in eps_values:
+        hits = np.flatnonzero(profile < eps)
+        out[float(eps)] = int(hits[0]) if hits.size else None
+    return out

@@ -1,0 +1,30 @@
+"""Stationary distributions and volumes (paper Section 2.1/2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = ["stationary_distribution", "volume"]
+
+
+def stationary_distribution(g: Graph) -> np.ndarray:
+    """The stationary distribution ``π(v) = d(v) / 2m`` of the simple (and
+    lazy) walk on an undirected connected graph.
+
+    Raises if the graph is disconnected — π would not be unique.
+    """
+    g.require_connected()
+    deg = g.degrees.astype(np.float64)
+    return deg / deg.sum()
+
+
+def volume(g: Graph, nodes=None) -> int:
+    """Volume ``µ(S) = Σ_{v∈S} d(v)``; ``µ(V) = 2m`` when ``nodes is None``."""
+    if nodes is None:
+        return g.volume
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= g.n):
+        raise ValueError("node label out of range")
+    return int(g.degrees[nodes].sum())

@@ -1,0 +1,48 @@
+"""Random-walk operators as sparse matrices.
+
+The paper writes the walk evolution as ``p_{t+1} = A p_t`` where ``A`` is the
+*transpose* of the transition probability matrix (Section 2.1):
+``A[i, j] = 1/d(j)`` if ``(i, j) ∈ E``.  We call ``A`` the *walk operator* and
+keep the row-stochastic matrix ``P = Aᵀ`` available for clarity.
+
+For bipartite graphs the simple walk is periodic; the *lazy* operator
+``(I + A)/2`` (stay put with probability 1/2) fixes that (paper, footnote 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.base import Graph
+
+__all__ = ["transition_matrix", "walk_operator", "lazy_walk_operator"]
+
+
+def transition_matrix(g: Graph) -> sp.csr_matrix:
+    """Row-stochastic transition matrix ``P`` with ``P[u, v] = 1/d(u)`` for
+    each edge ``(u, v)``."""
+    deg = g.degrees.astype(np.float64)
+    if np.any(deg == 0):
+        # An isolated node has no outgoing transitions; walks are undefined.
+        from repro.errors import GraphError
+
+        raise GraphError(f"{g.name} has isolated nodes; the walk is undefined")
+    data = np.repeat(1.0 / deg, g.degrees)
+    return sp.csr_matrix((data, g.indices, g.indptr), shape=(g.n, g.n))
+
+
+def walk_operator(g: Graph, *, lazy: bool = False) -> sp.csr_matrix:
+    """The paper's ``A = Pᵀ`` (column-stochastic): ``p_{t+1} = A @ p_t``.
+
+    With ``lazy=True`` returns ``(I + A)/2``.
+    """
+    A = transition_matrix(g).T.tocsr()
+    if lazy:
+        A = (sp.identity(g.n, format="csr") + A) * 0.5
+    return A
+
+
+def lazy_walk_operator(g: Graph) -> sp.csr_matrix:
+    """Shorthand for ``walk_operator(g, lazy=True)``."""
+    return walk_operator(g, lazy=True)

@@ -1,0 +1,22 @@
+"""Small shared utilities: RNG handling, validation, formatting, fitting."""
+
+from repro.utils.seeding import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    ensure_int,
+)
+from repro.utils.tables import format_table
+from repro.utils.fitting import loglog_slope
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "ensure_int",
+    "format_table",
+    "loglog_slope",
+]

@@ -1,0 +1,61 @@
+"""Scaling-law fits used to check asymptotic claims on finite sweeps.
+
+A theory paper's claims are of the form "τ grows like n²"; on a finite sweep
+we check them by fitting the slope of log(y) against log(x).  The fitted
+exponent, its residual, and the multiplicative constant are reported next to
+the claimed exponent in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["loglog_slope", "PowerLawFit"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y ≈ coeff * x**exponent``.
+
+    Attributes
+    ----------
+    exponent:
+        Fitted power-law exponent (slope in log–log space).
+    coeff:
+        Fitted multiplicative constant.
+    residual:
+        Root-mean-square residual in log space (0 = perfect power law).
+    """
+
+    exponent: float
+    coeff: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.coeff * x**self.exponent
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x**a`` by linear regression in log–log space.
+
+    Points with non-positive ``y`` are clamped to the smallest positive value
+    (they arise when a measured time is 0 rounds, e.g. a constant-time family);
+    the caller should interpret near-zero exponents as "constant".
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    if np.any(x <= 0):
+        raise ValueError("xs must be positive")
+    y = np.maximum(y, np.min(y[y > 0], initial=1.0) * 1e-3)
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    resid = float(np.sqrt(np.mean((ly - (slope * lx + intercept)) ** 2)))
+    return PowerLawFit(exponent=float(slope), coeff=float(np.exp(intercept)), residual=resid)

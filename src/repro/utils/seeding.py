@@ -1,0 +1,49 @@
+"""Deterministic random-number-generator plumbing.
+
+Every randomized entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or a ``numpy.random.Generator``; :func:`as_rng`
+normalizes all three.  Experiments that need several independent streams
+(e.g. one per node, or one per repetition) use :func:`spawn_rngs`, which
+derives child generators through NumPy's ``SeedSequence`` spawning so streams
+are statistically independent and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        generator (returned unchanged, so callers can thread one generator
+        through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(
+    seed: int | np.random.Generator | None, count: int
+) -> Sequence[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Child streams are independent of each other and of the parent, and the
+    whole family is reproducible from the original integer seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawning from a Generator requires numpy >= 1.25 (Generator.spawn).
+        return list(seed.spawn(count))
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

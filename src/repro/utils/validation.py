@@ -1,0 +1,51 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_fraction",
+    "check_probability_vector",
+    "ensure_int",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, closed_right: bool = False) -> float:
+    """Validate that ``value`` lies in ``(0, 1)`` (or ``(0, 1]``)."""
+    upper_ok = value <= 1 if closed_right else value < 1
+    if not (0 < value and upper_ok):
+        interval = "(0, 1]" if closed_right else "(0, 1)"
+        raise ValueError(f"{name} must be in {interval}, got {value!r}")
+    return value
+
+
+def check_probability_vector(p: np.ndarray, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is a 1-D non-negative vector summing to 1."""
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"probability vector must be 1-D, got shape {p.shape}")
+    if np.any(p < -atol):
+        raise ValueError("probability vector has negative entries")
+    total = float(p.sum())
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"probability vector sums to {total}, expected 1")
+    return p
+
+
+def ensure_int(name: str, value: float) -> int:
+    """Coerce ``value`` to ``int``, rejecting non-integral floats."""
+    if isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{name} must be an integer, got bool")
+    ivalue = int(value)
+    if ivalue != value:
+        raise ValueError(f"{name} must be integral, got {value!r}")
+    return ivalue

@@ -1,0 +1,58 @@
+"""Random-walk toolkit: exact distribution evolution, Monte-Carlo walkers,
+mixing times, restricted distributions, and the centralized local mixing
+time (the ground truth the distributed algorithms are validated against)."""
+
+from repro.walks.distribution import (
+    SpectralPropagator,
+    distribution_at,
+    distribution_trajectory,
+    initial_distribution,
+    l1_distance,
+)
+from repro.walks.restricted import (
+    restrict,
+    restricted_stationary,
+    set_l1_deviation,
+    set_mixing_time,
+)
+from repro.walks.mixing import graph_mixing_time, mixing_time
+from repro.walks.local_mixing import (
+    LocalMixingResult,
+    local_mixing_spectrum,
+    best_uniform_deviation,
+    find_witness_set,
+    graph_local_mixing_time,
+    local_mixing_time,
+    size_grid,
+)
+from repro.walks.simulate import (
+    empirical_distribution,
+    random_walk,
+    token_diffusion,
+    walk_endpoints,
+)
+
+__all__ = [
+    "initial_distribution",
+    "distribution_at",
+    "distribution_trajectory",
+    "SpectralPropagator",
+    "l1_distance",
+    "restrict",
+    "restricted_stationary",
+    "set_l1_deviation",
+    "set_mixing_time",
+    "mixing_time",
+    "graph_mixing_time",
+    "LocalMixingResult",
+    "local_mixing_time",
+    "local_mixing_spectrum",
+    "graph_local_mixing_time",
+    "best_uniform_deviation",
+    "find_witness_set",
+    "size_grid",
+    "random_walk",
+    "walk_endpoints",
+    "token_diffusion",
+    "empirical_distribution",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures: a zoo of small graphs with known properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def barbell_small():
+    """β-barbell with β=3, cliques of 5 (n=15) — Figure 1 at toy scale."""
+    return gen.beta_barbell(3, 5)
+
+
+@pytest.fixture
+def barbell_medium():
+    """β-barbell with β=4, cliques of 16 (n=64)."""
+    return gen.beta_barbell(4, 16)
+
+
+@pytest.fixture
+def cycle9():
+    """Odd cycle (aperiodic simple walk), n=9."""
+    return gen.cycle_graph(9)
+
+
+@pytest.fixture
+def complete8():
+    return gen.complete_graph(8)
+
+
+@pytest.fixture
+def path8():
+    """Path (bipartite — needs the lazy walk)."""
+    return gen.path_graph(8)
+
+
+@pytest.fixture
+def expander16():
+    """Random 4-regular graph, n=16, fixed seed."""
+    return gen.random_regular(16, 4, seed=7)
+
+
+@pytest.fixture(
+    params=["barbell", "cycle", "complete", "expander"],
+    ids=["barbell", "cycle9", "K8", "rr16"],
+)
+def nonbipartite_graph(request):
+    """Parametrized zoo of small connected non-bipartite graphs."""
+    return {
+        "barbell": gen.beta_barbell(3, 5),
+        "cycle": gen.cycle_graph(9),
+        "complete": gen.complete_graph(8),
+        "expander": gen.random_regular(16, 4, seed=7),
+    }[request.param]

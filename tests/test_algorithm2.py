@@ -1,0 +1,183 @@
+"""Algorithm 2 (LOCAL-MIXING-TIME, Theorem 1) and the §3.2 exact variant
+(Theorem 2): output guarantees, round ledgers, and agreement with the
+centralized reference under matching grid semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    exact_local_mixing_time_congest,
+    local_mixing_time_congest,
+)
+from repro.analysis import theorem1_round_bound, theorem2_round_bound
+from repro.congest import CongestNetwork
+from repro.constants import DEFAULT_EPS
+from repro.errors import ConvergenceError
+from repro.graphs import generators as gen
+from repro.graphs.properties import diameter
+from repro.walks import local_mixing_time, mixing_time
+
+
+@pytest.fixture
+def barbell_net():
+    g = gen.beta_barbell(4, 16)
+    return g, CongestNetwork(g, mode="fast")
+
+
+class TestAlgorithm2Output:
+    def test_within_2x_of_grid_exact(self, barbell_net):
+        """Output ℓ is a power of 2; the grid-exact stopping time τ* (same
+        4ε/grid semantics, every length) satisfies ℓ ≤ 2τ*  — and ℓ ≥ τ*'s
+        preceding power of two."""
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=1)
+        grid_exact = local_mixing_time(
+            g, 0, beta=4, sizes="grid", threshold_factor=4.0, t_schedule="all"
+        ).time
+        assert res.time <= 2 * max(grid_exact, 1)
+        assert res.time >= grid_exact / 2
+
+    def test_matches_centralized_doubling(self, barbell_net):
+        """With identical (doubling, grid, 4ε) semantics the distributed
+        run must stop at the same ℓ as the centralized scan — the only
+        differences are the n^{-c} rounding and the n^{-4} perturbations,
+        both far below ε."""
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=2)
+        cen = local_mixing_time(
+            g, 0, beta=4, sizes="grid", threshold_factor=4.0,
+            t_schedule="doubling",
+        )
+        assert res.time == cen.time
+        assert res.set_size == cen.set_size
+
+    def test_output_is_power_of_two(self, barbell_net):
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=3)
+        assert res.time & (res.time - 1) == 0
+
+    def test_deviation_below_threshold(self, barbell_net):
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=4)
+        assert res.deviation < res.threshold == 4 * DEFAULT_EPS
+
+    def test_expander_local_close_to_global(self):
+        """§2.3(b): on an expander there is no substantial local-vs-global
+        gap — Algorithm 2's output is within the doubling factor of the
+        global mixing time (both polylog n)."""
+        g = gen.random_regular(64, 8, seed=5)
+        net = CongestNetwork(g)
+        res = local_mixing_time_congest(net, 0, beta=2, seed=5)
+        tau_mix = mixing_time(g, 0, DEFAULT_EPS)
+        assert res.time <= 2 * tau_mix
+        cen = local_mixing_time(
+            g, 0, beta=2, sizes="grid", threshold_factor=4.0,
+            t_schedule="doubling",
+        )
+        assert res.time == cen.time
+
+    def test_different_sources_work(self, barbell_net):
+        g, net = barbell_net
+        for s in (0, 17, 63):
+            res = local_mixing_time_congest(
+                CongestNetwork(g), s, beta=4, seed=s
+            )
+            assert res.time <= 4
+
+    def test_validation(self, barbell_net):
+        g, net = barbell_net
+        with pytest.raises(ValueError):
+            local_mixing_time_congest(net, 0, beta=0.5)
+        with pytest.raises(ValueError):
+            local_mixing_time_congest(net, 0, beta=2, eps=0)
+        with pytest.raises(ValueError):
+            local_mixing_time_congest(net, g.n, beta=2)
+
+    def test_t_max_exhaustion(self):
+        g = gen.beta_barbell(3, 5)  # inhomogeneity floor > 4*eps for tiny eps
+        net = CongestNetwork(g)
+        with pytest.raises(ConvergenceError):
+            local_mixing_time_congest(net, 0, beta=3, eps=1e-4, t_max=64)
+
+
+class TestTheorem1Rounds:
+    def test_round_bound_shape(self, barbell_net):
+        """Measured rounds stay within a constant of the Theorem 1 bound
+        τ·log²n·log_{1+ε}β (constants absorbed; ratio reported by bench A2)."""
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=6)
+        bound = theorem1_round_bound(res.time, g.n, DEFAULT_EPS, 4)
+        assert res.rounds <= 40 * bound
+
+    def test_ledger_phases_present(self, barbell_net):
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=7)
+        for phase in ("bfs", "flooding", "ksearch"):
+            assert res.ledger.phase_rounds(phase) > 0
+
+    def test_flooding_rounds_sum_of_phases(self, barbell_net):
+        """Algorithm 1 reruns per phase: flooding rounds = Σ 2^i up to ℓ."""
+        g, net = barbell_net
+        res = local_mixing_time_congest(net, 0, beta=4, seed=8)
+        expect = sum(2**i for i in range(int(math.log2(res.time)) + 1))
+        assert res.ledger.phase_rounds("flooding") == expect
+
+
+class TestExactAlgorithm:
+    def test_matches_centralized_grid_exact(self, barbell_net):
+        g, net = barbell_net
+        res = exact_local_mixing_time_congest(net, 0, beta=4, seed=9)
+        cen = local_mixing_time(
+            g, 0, beta=4, sizes="grid", threshold_factor=4.0, t_schedule="all"
+        )
+        assert res.time == cen.time
+
+    def test_exact_le_doubling_output(self, barbell_net):
+        g, _ = barbell_net
+        exact = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=4, seed=10
+        )
+        approx = local_mixing_time_congest(CongestNetwork(g), 0, beta=4, seed=10)
+        assert exact.time <= approx.time
+
+    def test_reuse_bfs_same_output(self, barbell_net):
+        g, _ = barbell_net
+        a = exact_local_mixing_time_congest(CongestNetwork(g), 0, beta=4, seed=11)
+        b = exact_local_mixing_time_congest(
+            CongestNetwork(g), 0, beta=4, seed=11, reuse_bfs=True
+        )
+        assert a.time == b.time
+
+    def test_theorem2_round_shape(self, barbell_net):
+        g, net = barbell_net
+        res = exact_local_mixing_time_congest(net, 0, beta=4, seed=12)
+        d_tilde = min(res.time, diameter(g))
+        bound = theorem2_round_bound(res.time, d_tilde, g.n, DEFAULT_EPS, 4)
+        assert res.rounds <= 40 * bound
+
+    def test_one_flooding_round_per_length(self, barbell_net):
+        g, net = barbell_net
+        res = exact_local_mixing_time_congest(net, 0, beta=4, seed=13)
+        assert res.ledger.phase_rounds("flooding") == res.time
+
+    def test_t_max_exhaustion(self):
+        g = gen.beta_barbell(3, 5)
+        net = CongestNetwork(g)
+        with pytest.raises(ConvergenceError):
+            exact_local_mixing_time_congest(net, 0, beta=3, eps=1e-4, t_max=16)
+
+
+class TestEndToEndSemantics:
+    def test_gap_vs_global_mixing(self):
+        """The reproduction's headline: on the β-barbell the distributed
+        local-mixing computation finishes in rounds ~ τ_local·polylog while
+        the global mixing time is orders of magnitude larger."""
+        g = gen.beta_barbell(4, 16)
+        net = CongestNetwork(g)
+        res = local_mixing_time_congest(net, 0, beta=4, seed=14)
+        tau_mix = mixing_time(g, 0, DEFAULT_EPS)
+        assert res.time <= 4
+        assert tau_mix > 1000
+        assert res.rounds < tau_mix  # cheaper than even one global pass

@@ -1,0 +1,80 @@
+"""Unit tests for the analysis harness (theory formulas and sweeps)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    family_sweep,
+    grid_length,
+    measure_graph,
+    theorem1_round_bound,
+    theorem2_round_bound,
+    theorem3_round_bound,
+)
+from repro.graphs import generators as gen
+from repro.graphs.families import FAMILIES, get_family
+
+
+class TestTheoryFormulas:
+    def test_grid_length(self):
+        assert grid_length(1, 0.1) == 1.0
+        assert grid_length(4, 0.1) == pytest.approx(
+            math.log(4) / math.log(1.1)
+        )
+        with pytest.raises(ValueError):
+            grid_length(0.5, 0.1)
+        with pytest.raises(ValueError):
+            grid_length(2, 0)
+
+    def test_theorem1_monotone_in_tau(self):
+        a = theorem1_round_bound(2, 64, 0.05, 4)
+        b = theorem1_round_bound(4, 64, 0.05, 4)
+        assert b > a
+
+    def test_theorem2_uses_d_tilde(self):
+        small = theorem2_round_bound(10, 2, 64, 0.05, 4)
+        big = theorem2_round_bound(10, 8, 64, 0.05, 4)
+        assert big == pytest.approx(4 * small)
+
+    def test_theorem3(self):
+        assert theorem3_round_bound(3, 64) == pytest.approx(3 * math.log(64))
+        assert theorem3_round_bound(0, 64) == pytest.approx(math.log(64))
+
+
+class TestFamilies:
+    def test_registry_contents(self):
+        assert {"complete", "expander", "path", "barbell"} <= set(FAMILIES)
+
+    def test_get_family_error_lists_keys(self):
+        with pytest.raises(KeyError, match="barbell"):
+            get_family("nope")
+
+    @pytest.mark.parametrize("key", sorted(FAMILIES))
+    def test_builders_produce_connected_graphs(self, key):
+        import numpy as np
+
+        fam = get_family(key)
+        g = fam.build(48, 4, np.random.default_rng(1))
+        assert g.is_connected
+        assert g.n >= 24  # builders may round the size
+
+
+class TestMeasureAndSweep:
+    def test_measure_graph_fields(self):
+        g = gen.beta_barbell(4, 16)
+        row = measure_graph(g, 0, beta=4)
+        assert row["tau_local"] <= row["tau_mix"]
+        assert row["ratio"] >= 1
+        assert row["n"] == 64
+
+    def test_family_sweep_rows(self):
+        # K_n mixes in one step once 2/n < ε, i.e. n ≥ 44 at ε = 1/(8e).
+        rows = family_sweep("complete", [48, 64], beta=2, seed=1)
+        assert len(rows) == 2
+        assert all(r["tau_mix"] == 1 for r in rows)
+
+    def test_barbell_sweep_shows_gap(self):
+        rows = family_sweep("barbell", [32, 64], beta=4, seed=2)
+        for r in rows:
+            assert r["ratio"] > 10

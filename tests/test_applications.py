@@ -1,0 +1,90 @@
+"""Applications built on partial spreading: max coverage, leader election."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import distributed_max_coverage, leader_election
+from repro.gossip.applications import greedy_max_coverage
+from repro.graphs import generators as gen
+
+
+class TestGreedy:
+    def test_picks_largest_first(self):
+        sets = [{1, 2, 3}, {1}, {4, 5}]
+        covered, chosen = greedy_max_coverage(sets, 1)
+        assert chosen == [0]
+        assert covered == {1, 2, 3}
+
+    def test_marginal_gain_logic(self):
+        sets = [{1, 2, 3}, {3, 4}, {5}]
+        covered, chosen = greedy_max_coverage(sets, 2)
+        assert chosen[0] == 0
+        assert chosen[1] == 1  # gain 1 ({4}) beats... equal to {5}: ties by index
+        assert covered == {1, 2, 3, 4}
+
+    def test_stops_when_nothing_gains(self):
+        sets = [{1}, {1}, {1}]
+        covered, chosen = greedy_max_coverage(sets, 3)
+        assert len(chosen) == 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            greedy_max_coverage([{1}], 0)
+
+    def test_known_approximation_instance(self):
+        # classic instance where greedy is (1 - 1/e)-ish but not optimal
+        sets = [{1, 2, 3, 4}, {1, 2, 5, 6}, {3, 4, 5, 6}]
+        covered, _ = greedy_max_coverage(sets, 2)
+        assert len(covered) >= 6  # greedy gets everything here
+
+
+class TestDistributedCoverage:
+    def test_ratio_close_to_one_after_spreading(self, rng):
+        g = gen.beta_barbell(4, 16)
+        sets = [
+            set(rng.choice(100, size=10, replace=False).tolist())
+            for _ in range(g.n)
+        ]
+        res = distributed_max_coverage(g, sets, k=4, rounds=30, seed=1)
+        assert res.centralized_value > 0
+        assert res.ratio >= 0.8
+        assert res.min_sets_known >= g.n // 4
+
+    def test_zero_rounds_uses_own_set_only(self, rng):
+        g = gen.cycle_graph(12)
+        sets = [{i} for i in range(12)]
+        res = distributed_max_coverage(g, sets, k=3, rounds=0, seed=2)
+        assert res.min_sets_known == 1
+        assert res.distributed_value == 1  # a node only knows its own set
+        assert res.centralized_value == 3
+
+    def test_set_count_validation(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(ValueError):
+            distributed_max_coverage(g, [{1}], 1, 1)
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.complete_graph(32),
+            lambda: gen.beta_barbell(3, 8),
+            lambda: gen.random_regular(24, 4, seed=3),
+        ],
+    )
+    def test_elects_max_id(self, maker):
+        g = maker()
+        res = leader_election(g, seed=4)
+        assert res.leader == g.n - 1
+        assert res.rounds >= 1
+
+    def test_expander_fast_barbell_slow(self):
+        fast = leader_election(gen.random_regular(64, 8, seed=5), seed=6)
+        slow = leader_election(gen.beta_barbell(8, 8), seed=6)
+        assert fast.rounds < slow.rounds
+
+    def test_timeout(self):
+        g = gen.beta_barbell(4, 8)
+        with pytest.raises(RuntimeError):
+            leader_election(g, seed=7, max_rounds=1)

@@ -1,0 +1,164 @@
+"""Unit tests for conductance and weak conductance."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.spectral import (
+    graph_conductance_exact,
+    set_conductance,
+    sweep_cut_conductance,
+    weak_conductance_exact,
+    weak_conductance_lower_bound,
+    barbell_weak_conductance,
+)
+from repro.spectral.conductance import cut_edges
+
+
+class TestCutEdges:
+    def test_single_node(self):
+        g = gen.cycle_graph(6)
+        assert cut_edges(g, [0]) == 2
+
+    def test_half_cycle(self):
+        g = gen.cycle_graph(6)
+        assert cut_edges(g, [0, 1, 2]) == 2
+
+    def test_barbell_clique_cut(self):
+        g = gen.beta_barbell(2, 5)
+        assert cut_edges(g, range(5)) == 1  # the single bridge
+
+
+class TestSetConductance:
+    def test_known_values(self):
+        g = gen.cycle_graph(8)
+        # S = arc of 4 nodes: boundary 2, vol 8 -> phi = 1/4
+        assert set_conductance(g, [0, 1, 2, 3]) == pytest.approx(0.25)
+
+    def test_uses_smaller_side_volume(self):
+        g = gen.star_graph(6)
+        # S = leaves {1..5}: vol(S)=5, vol(rest)=5, boundary=5
+        assert set_conductance(g, [1, 2, 3, 4, 5]) == pytest.approx(1.0)
+
+    def test_barbell_bridge_cut_is_tiny(self):
+        g = gen.beta_barbell(2, 8)
+        phi = set_conductance(g, range(8))
+        assert phi < 0.02
+
+    def test_rejects_trivial_subsets(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(ValueError):
+            set_conductance(g, [])
+        with pytest.raises(ValueError):
+            set_conductance(g, range(5))
+
+
+class TestExactConductance:
+    def test_complete_graph(self):
+        # K_n balanced cut: phi = ceil(n/2)/ (n-1)
+        g = gen.complete_graph(6)
+        assert graph_conductance_exact(g) == pytest.approx(3 * 3 / (3 * 5))
+
+    def test_cycle(self):
+        # C_n: best cut = half arc, phi = 2/n
+        g = gen.cycle_graph(10)
+        assert graph_conductance_exact(g) == pytest.approx(2 / 10)
+
+    def test_barbell_bottleneck(self):
+        g = gen.beta_barbell(2, 6)
+        phi = graph_conductance_exact(g)
+        # Exactly the bridge cut: 1 / vol(one clique side)
+        assert phi == pytest.approx(set_conductance(g, range(6)))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            graph_conductance_exact(gen.cycle_graph(30))
+
+
+class TestSweepCut:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.cycle_graph(10),
+            lambda: gen.beta_barbell(2, 6),
+            lambda: gen.complete_graph(8),
+            lambda: gen.random_regular(14, 4, seed=5),
+        ],
+    )
+    def test_upper_bounds_exact(self, maker):
+        g = maker()
+        phi_sweep, cut = sweep_cut_conductance(g)
+        phi_true = graph_conductance_exact(g)
+        assert phi_sweep >= phi_true - 1e-9
+        # and the returned cut achieves the reported value
+        assert set_conductance(g, cut) == pytest.approx(phi_sweep)
+
+    def test_finds_barbell_bottleneck_exactly(self):
+        g = gen.beta_barbell(2, 6)
+        phi_sweep, cut = sweep_cut_conductance(g)
+        assert phi_sweep == pytest.approx(graph_conductance_exact(g))
+        assert sorted(cut.tolist()) in (list(range(6)), list(range(6, 12)))
+
+
+class TestWeakConductance:
+    def test_exact_small_barbell(self):
+        # 2-barbell with cliques of 4 (n=8): phi_2 via home cliques >= 1/2
+        g = gen.beta_barbell(2, 4)
+        w = weak_conductance_exact(g, 2.0)
+        assert w >= 0.5
+
+    def test_weak_ge_strong(self):
+        g = gen.beta_barbell(2, 5)
+        w = weak_conductance_exact(g, 2.0)
+        phi = graph_conductance_exact(g)
+        assert w >= phi - 1e-12
+
+    def test_c_one_equals_global_conductance(self):
+        # c=1 forces S=V, so phi_1 = Phi(G)
+        g = gen.cycle_graph(8)
+        assert weak_conductance_exact(g, 1.0) == pytest.approx(
+            graph_conductance_exact(g)
+        )
+
+    def test_monotone_in_c(self):
+        g = gen.beta_barbell(2, 4)
+        w2 = weak_conductance_exact(g, 2.0)
+        w1 = weak_conductance_exact(g, 1.0)
+        assert w2 >= w1 - 1e-12
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            weak_conductance_exact(gen.cycle_graph(20), 2.0)
+
+    def test_lower_bound_from_clique_cover(self):
+        g = gen.beta_barbell(3, 5)
+        cover = [np.arange(5), np.arange(5, 10), np.arange(10, 15)]
+        lb = weak_conductance_lower_bound(g, 3.0, cover)
+        assert lb >= 0.5
+
+    def test_lower_bound_default_cover(self):
+        g = gen.beta_barbell(3, 5)
+        lb = weak_conductance_lower_bound(g, 3.0)
+        assert lb > 0
+
+    def test_lower_bound_rejects_bad_cover(self):
+        g = gen.beta_barbell(3, 5)
+        with pytest.raises(ValueError):
+            weak_conductance_lower_bound(g, 3.0, [np.arange(5)])  # not a cover
+        with pytest.raises(ValueError):
+            weak_conductance_lower_bound(g, 3.0, [np.arange(2)] * 8)  # too small
+
+    def test_barbell_closed_form(self):
+        # phi(K_k) balanced cut: ceil(k/2)/(k-1)
+        assert barbell_weak_conductance(4, 4) == pytest.approx(2 / 3)
+        assert barbell_weak_conductance(4, 8) == pytest.approx(4 / 7)
+        assert barbell_weak_conductance(3, 5) == pytest.approx(0.75)
+        # always at least 1/2
+        for k in range(2, 20):
+            assert barbell_weak_conductance(2, k) >= 0.5
+
+    def test_closed_form_matches_exact_conductance_of_clique(self):
+        for k in (4, 5, 6):
+            got = barbell_weak_conductance(2, k)
+            want = graph_conductance_exact(gen.complete_graph(k))
+            assert got == pytest.approx(want)

@@ -1,0 +1,108 @@
+"""BFS-tree construction: correctness against ground-truth distances and
+fast/faithful layer agreement (values AND charged costs)."""
+
+import numpy as np
+import pytest
+
+from repro.congest import BFSTree, CongestNetwork, build_bfs_tree
+from repro.graphs import generators as gen
+from repro.graphs.properties import shortest_path_lengths_from
+
+GRAPHS = [
+    ("path7", lambda: gen.path_graph(7)),
+    ("cycle9", lambda: gen.cycle_graph(9)),
+    ("barbell", lambda: gen.beta_barbell(3, 5)),
+    ("K6", lambda: gen.complete_graph(6)),
+    ("rr12", lambda: gen.random_regular(12, 4, seed=1)),
+    ("btree", lambda: gen.binary_tree(3)),
+]
+
+
+@pytest.mark.parametrize("name,maker", GRAPHS, ids=[g[0] for g in GRAPHS])
+class TestBothLayers:
+    def test_depths_match_ground_truth(self, name, maker):
+        g = maker()
+        for src in (0, g.n - 1):
+            for limit in (1, 2, None):
+                net = CongestNetwork(g, mode="fast")
+                tree = build_bfs_tree(net, src, limit)
+                d = shortest_path_lengths_from(g, src)
+                cap = limit if limit is not None else g.n
+                want = np.where((d >= 0) & (d <= cap), d, -1)
+                np.testing.assert_array_equal(tree.depth, want)
+
+    def test_fast_equals_faithful(self, name, maker):
+        g = maker()
+        for src in (0, g.n // 2):
+            for limit in (1, 3, None):
+                fast = CongestNetwork(g, mode="fast")
+                slow = CongestNetwork(g, mode="faithful")
+                tf = build_bfs_tree(fast, src, limit)
+                ts = build_bfs_tree(slow, src, limit)
+                np.testing.assert_array_equal(tf.parent, ts.parent)
+                np.testing.assert_array_equal(tf.depth, ts.depth)
+                assert tf.rounds_used == ts.rounds_used
+                assert fast.ledger.rounds == slow.ledger.rounds
+                assert fast.ledger.messages == slow.ledger.messages
+                assert fast.ledger.bits == slow.ledger.bits
+
+
+class TestTreeStructure:
+    def test_parent_is_one_level_up(self):
+        g = gen.beta_barbell(3, 5)
+        tree = build_bfs_tree(CongestNetwork(g), 0)
+        for u in range(g.n):
+            if tree.parent[u] >= 0:
+                assert tree.depth[u] == tree.depth[tree.parent[u]] + 1
+                assert g.has_edge(u, int(tree.parent[u]))
+
+    def test_parent_is_min_id_rule(self):
+        g = gen.complete_graph(5)
+        tree = build_bfs_tree(CongestNetwork(g), 2)
+        # all other nodes join at depth 1 with parent 2
+        for u in (0, 1, 3, 4):
+            assert tree.parent[u] == 2
+
+    def test_children_inverse_of_parent(self):
+        g = gen.random_regular(14, 4, seed=6)
+        tree = build_bfs_tree(CongestNetwork(g), 0)
+        for u in range(g.n):
+            for ch in tree.children[u]:
+                assert tree.parent[ch] == u
+
+    def test_layers(self):
+        g = gen.path_graph(5)
+        tree = build_bfs_tree(CongestNetwork(g), 0)
+        layers = tree.layers()
+        assert [l.tolist() for l in layers] == [[0], [1], [2], [3], [4]]
+
+    def test_size_and_in_tree(self):
+        g = gen.path_graph(6)
+        tree = build_bfs_tree(CongestNetwork(g), 0, depth_limit=2)
+        assert tree.size == 3
+        assert tree.in_tree.tolist() == [True] * 3 + [False] * 3
+
+    def test_rounds_is_height_plus_one(self):
+        g = gen.path_graph(8)
+        net = CongestNetwork(g)
+        tree = build_bfs_tree(net, 0, depth_limit=3)
+        assert tree.height == 3
+        assert tree.rounds_used == 4
+        net2 = CongestNetwork(g)
+        full = build_bfs_tree(net2, 0)
+        assert full.height == 7
+        assert full.rounds_used == 8
+
+    def test_single_node_graph(self):
+        from repro.graphs import Graph
+
+        g = gen.complete_graph(2)
+        tree = build_bfs_tree(CongestNetwork(g), 0)
+        assert tree.size == 2 and tree.height == 1
+
+    def test_validation(self):
+        net = CongestNetwork(gen.cycle_graph(5))
+        with pytest.raises(ValueError):
+            build_bfs_tree(net, 9)
+        with pytest.raises(ValueError):
+            build_bfs_tree(net, 0, depth_limit=0)

@@ -1,0 +1,196 @@
+"""Unit tests for CONGEST core: messages, ledger, network, engine."""
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    CostLedger,
+    Message,
+    NodeProgram,
+    SyncEngine,
+    fixed_point_bits,
+    id_bits,
+    int_bits,
+)
+from repro.errors import CongestViolationError, ProtocolError
+from repro.graphs import Graph
+from repro.graphs import generators as gen
+
+
+class TestBitWidths:
+    @pytest.mark.parametrize("n,want", [(2, 1), (3, 2), (16, 4), (17, 5), (1024, 10)])
+    def test_id_bits(self, n, want):
+        assert id_bits(n) == want
+
+    def test_id_bits_validation(self):
+        with pytest.raises(ValueError):
+            id_bits(0)
+
+    @pytest.mark.parametrize("v,want", [(0, 1), (1, 1), (2, 2), (255, 8), (256, 9)])
+    def test_int_bits(self, v, want):
+        assert int_bits(v) == want
+
+    def test_fixed_point_bits(self):
+        # c * ceil(log2 n) + 1
+        assert fixed_point_bits(16, 6) == 25
+        assert fixed_point_bits(1000, 6) == 61
+
+    def test_fixed_point_validation(self):
+        with pytest.raises(ValueError):
+            fixed_point_bits(16, 0)
+
+    def test_message_requires_positive_bits(self):
+        with pytest.raises(ValueError):
+            Message("x", 0)
+
+
+class TestLedger:
+    def test_accumulates(self):
+        led = CostLedger()
+        led.charge(rounds=2, messages=10, bits=100, phase="a")
+        led.charge(rounds=1, messages=5, bits=50, phase="b")
+        assert led.rounds == 3
+        assert led.messages == 15
+        assert led.bits == 150
+        assert led.phase_rounds("a") == 2
+        assert led.phase_rounds("missing") == 0
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge(rounds=1, phase="x")
+        b.charge(rounds=2, phase="x")
+        b.charge(rounds=3, phase="y")
+        a.merge(b)
+        assert a.rounds == 6
+        assert a.phase_rounds("x") == 3
+        assert a.phase_rounds("y") == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(rounds=-1)
+
+    def test_summary_mentions_phases(self):
+        led = CostLedger()
+        led.charge(rounds=1, phase="bfs")
+        assert "bfs" in led.summary()
+
+
+class TestNetwork:
+    def test_bandwidth_budget(self):
+        net = CongestNetwork(gen.cycle_graph(16), bandwidth_factor=8)
+        assert net.bandwidth_bits == 8 * 4
+        net.check_bits(32)
+        with pytest.raises(CongestViolationError):
+            net.check_bits(33)
+
+    def test_requires_connected(self):
+        from repro.errors import DisconnectedGraphError
+
+        with pytest.raises(DisconnectedGraphError):
+            CongestNetwork(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(gen.cycle_graph(5), mode="turbo")
+        with pytest.raises(ValueError):
+            CongestNetwork(gen.cycle_graph(5), bandwidth_factor=0)
+
+    def test_reset_ledger(self):
+        net = CongestNetwork(gen.cycle_graph(5))
+        net.ledger.charge(rounds=4)
+        old = net.reset_ledger()
+        assert old.rounds == 4
+        assert net.ledger.rounds == 0
+
+    def test_repr(self):
+        assert "bits/edge/round" in repr(CongestNetwork(gen.cycle_graph(5)))
+
+
+class _PingProgram(NodeProgram):
+    """Round 1: node 0 pings every neighbor; they record and halt."""
+
+    def __init__(self):
+        self.got = None
+
+    def setup(self):
+        if self.node != 0:
+            pass
+
+    def send(self, round_no):
+        if self.node == 0 and round_no == 1:
+            self.halted = True
+            return {int(v): Message("ping", 4) for v in self.neighbors}
+        return {}
+
+    def receive(self, round_no, inbox):
+        if inbox:
+            self.got = sorted(inbox)
+            self.halted = True
+
+
+class TestEngine:
+    def test_delivers_and_counts(self):
+        g = gen.star_graph(5)
+        net = CongestNetwork(g, mode="faithful")
+        programs = [_PingProgram() for _ in range(g.n)]
+        rounds = SyncEngine(net).run(programs, max_rounds=10)
+        assert rounds <= 2
+        for v in range(1, 5):
+            assert programs[v].got == [0]
+        assert net.ledger.messages == 4
+        assert net.ledger.bits == 16
+
+    def test_oversized_message_rejected(self):
+        class Chatty(NodeProgram):
+            def send(self, round_no):
+                return {
+                    int(v): Message("x" * 100, 10_000) for v in self.neighbors
+                }
+
+        net = CongestNetwork(gen.cycle_graph(4), mode="faithful")
+        with pytest.raises(CongestViolationError):
+            SyncEngine(net).run([Chatty() for _ in range(4)], max_rounds=1)
+
+    def test_non_neighbor_send_rejected(self):
+        class Cheater(NodeProgram):
+            def send(self, round_no):
+                far = (self.node + 2) % 5
+                return {far: Message(1, 1)}
+
+        net = CongestNetwork(gen.cycle_graph(5), mode="faithful")
+        with pytest.raises(ProtocolError):
+            SyncEngine(net).run([Cheater() for _ in range(5)], max_rounds=1)
+
+    def test_raw_payload_rejected(self):
+        class Raw(NodeProgram):
+            def send(self, round_no):
+                return {int(self.neighbors[0]): "naked"}
+
+        net = CongestNetwork(gen.cycle_graph(5), mode="faithful")
+        with pytest.raises(ProtocolError):
+            SyncEngine(net).run([Raw() for _ in range(5)], max_rounds=1)
+
+    def test_program_count_mismatch(self):
+        net = CongestNetwork(gen.cycle_graph(5), mode="faithful")
+        with pytest.raises(ProtocolError):
+            SyncEngine(net).run([NodeProgram()], max_rounds=1)
+
+    def test_max_rounds_caps(self):
+        class Forever(NodeProgram):
+            def send(self, round_no):
+                return {}
+
+        net = CongestNetwork(gen.cycle_graph(4), mode="faithful")
+        rounds = SyncEngine(net).run([Forever() for _ in range(4)], max_rounds=7)
+        assert rounds == 7
+        assert net.ledger.rounds == 7
+
+    def test_all_halted_stops_early(self):
+        class Instant(NodeProgram):
+            def setup(self):
+                self.halted = True
+
+        net = CongestNetwork(gen.cycle_graph(4), mode="faithful")
+        rounds = SyncEngine(net).run([Instant() for _ in range(4)], max_rounds=9)
+        assert rounds == 0

@@ -1,0 +1,125 @@
+"""Distributed k-smallest-sum (paper §3.1) — correctness vs sorting, the
+perturbation error budget, virtual-node merging, and layer agreement."""
+
+import numpy as np
+import pytest
+
+from repro.congest import CongestNetwork, build_bfs_tree, k_smallest_sum
+from repro.graphs import generators as gen
+
+
+def slack(n: int) -> float:
+    """Max total perturbation: n values of at most n^-4 each."""
+    return n * float(n) ** -4.0 + 1e-9
+
+
+@pytest.fixture
+def setup():
+    g = gen.beta_barbell(3, 5)
+    net = CongestNetwork(g, mode="fast")
+    tree = build_bfs_tree(net, 0)
+    return g, net, tree
+
+
+class TestBasic:
+    @pytest.mark.parametrize("k", [1, 2, 7, 14, 15])
+    def test_matches_sorted_sum(self, setup, rng, k):
+        g, net, tree = setup
+        vals = rng.random(g.n)
+        res = k_smallest_sum(net, tree, vals, k, seed=1)
+        truth = float(np.sort(vals)[:k].sum())
+        assert res.total == pytest.approx(truth, abs=slack(g.n))
+        assert res.total >= truth  # perturbations only add
+
+    def test_duplicate_values_resolved(self, setup):
+        g, net, tree = setup
+        vals = np.full(g.n, 0.5)
+        res = k_smallest_sum(net, tree, vals, 7, seed=2)
+        assert res.total == pytest.approx(3.5, abs=slack(g.n))
+
+    def test_reproducible_with_seed(self, setup, rng):
+        g, net, tree = setup
+        vals = rng.random(g.n)
+        a = k_smallest_sum(net, tree, vals, 5, seed=3)
+        b = k_smallest_sum(net, tree, vals, 5, seed=3)
+        assert a.total == b.total
+
+    def test_rounds_are_charged(self, setup, rng):
+        g, net, tree = setup
+        vals = rng.random(g.n)
+        before = net.ledger.rounds
+        res = k_smallest_sum(net, tree, vals, 5, seed=4)
+        assert net.ledger.rounds - before == res.rounds
+        assert res.rounds >= tree.height  # at least the min/max convergecast
+
+    def test_iteration_cost_scales_with_height(self, rng):
+        g = gen.path_graph(12)
+        net = CongestNetwork(g)
+        tree = build_bfs_tree(net, 0)
+        vals = rng.random(12)
+        res = k_smallest_sum(net, tree, vals, 5, seed=5)
+        # each probe = broadcast + convergecast = 2 * height
+        assert res.rounds >= 2 * tree.height
+
+    def test_validation(self, setup):
+        g, net, tree = setup
+        with pytest.raises(ValueError):
+            k_smallest_sum(net, tree, np.ones(3), 1)
+        with pytest.raises(ValueError):
+            k_smallest_sum(net, tree, np.ones(g.n), 0)
+        with pytest.raises(ValueError):
+            k_smallest_sum(net, tree, np.ones(g.n), g.n + 1)
+        with pytest.raises(ValueError):
+            k_smallest_sum(net, tree, np.ones(g.n), 1, virtual_count=2)
+        with pytest.raises(ValueError):
+            k_smallest_sum(net, tree, np.ones(g.n), 1, virtual_count=-1,
+                           virtual_value=0.5)
+
+
+class TestVirtualMerge:
+    """Out-of-tree nodes folded in analytically at the source."""
+
+    @pytest.mark.parametrize("k", [1, 3, 6, 10, 14])
+    @pytest.mark.parametrize("vv", [0.0, 0.37, 0.9])
+    def test_against_merged_sort(self, rng, k, vv):
+        g = gen.beta_barbell(3, 5)
+        net = CongestNetwork(g)
+        tree = build_bfs_tree(net, 0, depth_limit=1)  # shallow: 5 in-tree
+        vals = rng.random(g.n)
+        vc = g.n - tree.size
+        if k > tree.size + vc:
+            pytest.skip("k beyond pool")
+        res = k_smallest_sum(
+            net, tree, vals, k, seed=6, virtual_value=vv, virtual_count=vc
+        )
+        pool = np.concatenate([vals[tree.in_tree], np.full(vc, vv)])
+        truth = float(np.sort(pool)[:k].sum())
+        assert res.total == pytest.approx(truth, abs=slack(g.n))
+
+    def test_from_virtual_counted(self, rng):
+        g = gen.beta_barbell(3, 5)
+        net = CongestNetwork(g)
+        tree = build_bfs_tree(net, 0, depth_limit=1)
+        vals = np.full(g.n, 0.9)  # all in-tree values above the virtual 0.1
+        vc = g.n - tree.size
+        res = k_smallest_sum(
+            net, tree, vals, vc, seed=7, virtual_value=0.1, virtual_count=vc
+        )
+        assert res.from_virtual == vc
+        assert res.total == pytest.approx(vc * 0.1, abs=slack(g.n))
+
+
+class TestLayerAgreement:
+    @pytest.mark.parametrize("k", [1, 4, 9, 15])
+    def test_fast_equals_faithful(self, rng, k):
+        g = gen.beta_barbell(3, 5)
+        vals = rng.random(g.n)
+        fast = CongestNetwork(g, mode="fast")
+        slow = CongestNetwork(g, mode="faithful")
+        tf = build_bfs_tree(fast, 0)
+        ts = build_bfs_tree(slow, 0)
+        rf = k_smallest_sum(fast, tf, vals, k, seed=8)
+        rs = k_smallest_sum(slow, ts, vals, k, seed=8)
+        assert rf.total == pytest.approx(rs.total, abs=1e-12)
+        assert rf.rounds == rs.rounds
+        assert rf.iterations == rs.iterations

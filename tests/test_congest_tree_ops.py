@@ -1,0 +1,118 @@
+"""Broadcast / convergecast over BFS trees — value correctness, round
+formulas, and fast/faithful agreement."""
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    broadcast_value,
+    build_bfs_tree,
+    convergecast_count,
+    convergecast_max,
+    convergecast_min,
+    convergecast_sum,
+)
+from repro.congest.tree_ops import convergecast
+from repro.errors import CongestViolationError
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def nets():
+    g = gen.beta_barbell(3, 5)
+    fast = CongestNetwork(g, mode="fast")
+    slow = CongestNetwork(g, mode="faithful")
+    return fast, slow, build_bfs_tree(fast, 0), build_bfs_tree(slow, 0)
+
+
+class TestBroadcast:
+    def test_value_delivered(self, nets):
+        fast, slow, tf, ts = nets
+        assert broadcast_value(fast, tf, 42, 8) == 42
+        assert broadcast_value(slow, ts, 42, 8) == 42
+
+    def test_round_cost_is_height(self, nets):
+        fast, slow, tf, ts = nets
+        fast.reset_ledger()
+        slow.reset_ledger()
+        broadcast_value(fast, tf, 1, 8)
+        broadcast_value(slow, ts, 1, 8)
+        assert fast.ledger.rounds == tf.height
+        assert slow.ledger.rounds == ts.height
+        assert fast.ledger.messages == slow.ledger.messages == tf.size - 1
+
+    def test_bit_budget_enforced(self, nets):
+        fast, _, tf, _ = nets
+        with pytest.raises(CongestViolationError):
+            broadcast_value(fast, tf, "big", 10_000)
+
+
+class TestConvergecast:
+    def test_sum_min_max_match_numpy(self, nets, rng):
+        fast, slow, tf, ts = nets
+        vals = rng.random(15)
+        assert convergecast_sum(fast, tf, vals, 8) == pytest.approx(vals.sum())
+        assert convergecast_sum(slow, ts, vals, 8) == pytest.approx(vals.sum())
+        assert convergecast_min(fast, tf, vals, 8) == pytest.approx(vals.min())
+        assert convergecast_max(slow, ts, vals, 8) == pytest.approx(vals.max())
+
+    def test_count(self, nets):
+        fast, _, tf, _ = nets
+        mask = np.zeros(15, dtype=bool)
+        mask[[0, 3, 7]] = True
+        assert convergecast_count(fast, tf, mask, 8) == 3
+
+    def test_round_cost_is_height(self, nets, rng):
+        fast, slow, tf, ts = nets
+        vals = rng.random(15)
+        fast.reset_ledger()
+        slow.reset_ledger()
+        convergecast_sum(fast, tf, vals, 8)
+        convergecast_sum(slow, ts, vals, 8)
+        assert fast.ledger.rounds == slow.ledger.rounds == tf.height
+        assert fast.ledger.messages == slow.ledger.messages == tf.size - 1
+
+    def test_vector_payload(self, nets, rng):
+        fast, slow, tf, ts = nets
+        vals = rng.random((15, 2))
+        got_f = convergecast(fast, tf, vals, "min", 8)
+        got_s = convergecast(slow, ts, vals, "min", 8)
+        np.testing.assert_allclose(got_f, vals.min(axis=0))
+        np.testing.assert_allclose(got_s, vals.min(axis=0))
+
+    def test_vector_payload_bits_counted(self, nets, rng):
+        fast, _, tf, _ = nets
+        vals = rng.random((15, 3))
+        fast.reset_ledger()
+        convergecast(fast, tf, vals, "sum", 8)
+        assert fast.ledger.bits == (tf.size - 1) * 24
+
+    def test_only_tree_values_aggregated(self):
+        g = gen.path_graph(6)
+        net = CongestNetwork(g)
+        tree = build_bfs_tree(net, 0, depth_limit=2)  # nodes 0..2
+        vals = np.array([1.0, 2.0, 3.0, 100.0, 100.0, 100.0])
+        assert convergecast_sum(net, tree, vals, 8) == pytest.approx(6.0)
+
+    def test_shape_validation(self, nets):
+        fast, _, tf, _ = nets
+        with pytest.raises(ValueError):
+            convergecast_sum(fast, tf, np.ones(3), 8)
+        with pytest.raises(ValueError):
+            convergecast(fast, tf, np.ones(15), "median", 8)
+
+    def test_oversized_vector_rejected(self, nets):
+        fast, _, tf, _ = nets
+        with pytest.raises(CongestViolationError):
+            convergecast(fast, tf, np.ones((15, 50)), "sum", 8)
+
+    def test_deep_chain_faithful(self):
+        """Convergecast over a path (worst-case depth) in the engine."""
+        g = gen.path_graph(6)
+        slow = CongestNetwork(g, mode="faithful")
+        ts = build_bfs_tree(slow, 0)
+        vals = np.arange(6, dtype=float)
+        slow.reset_ledger()
+        assert convergecast_sum(slow, ts, vals, 8) == pytest.approx(15.0)
+        assert slow.ledger.rounds == 5

@@ -1,0 +1,52 @@
+"""Tests for the open-problem study (analysis.conjecture)."""
+
+import math
+
+import pytest
+
+from repro.analysis.conjecture import (
+    ConjecturePoint,
+    weak_conductance_vs_local_mixing,
+)
+
+
+class TestConjecturePoint:
+    def test_envelope_logic(self):
+        p = ConjecturePoint(
+            graph="g", n=64, beta=4, eps=0.05, phi_beta=0.5, tau_local=3,
+            lower_env=2.0, upper_env=math.log(64) / 0.25, phi_kind="exact",
+        )
+        assert p.within_envelope
+
+    def test_envelope_violation_detected(self):
+        p = ConjecturePoint(
+            graph="g", n=64, beta=4, eps=0.05, phi_beta=0.5,
+            tau_local=10_000, lower_env=2.0, upper_env=16.6,
+            phi_kind="exact",
+        )
+        assert not p.within_envelope
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return weak_conductance_vs_local_mixing()
+
+    def test_covers_all_phi_kinds(self, points):
+        kinds = {p.phi_kind for p in points}
+        assert kinds == {"closed-form", "cover-bound", "exact"}
+
+    def test_all_within_envelope(self, points):
+        assert all(p.within_envelope for p in points)
+
+    def test_barbell_phi_constant_across_beta(self, points):
+        barbells = [
+            p for p in points
+            if p.phi_kind == "closed-form" and "k=16" in p.graph
+        ]
+        phis = {round(p.phi_beta, 6) for p in barbells}
+        assert len(phis) == 1  # Φ_β depends on the clique, not on β
+
+    def test_tau_constant_on_barbells(self, points):
+        barbells = [p for p in points if p.phi_kind == "closed-form"]
+        assert all(p.tau_local <= 3 for p in barbells)

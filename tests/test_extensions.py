@@ -1,0 +1,157 @@
+"""Tests for the extension modules: graph-wide CONGEST computation, the
+local-mixing spectrum, Theorem 3 phase tracking, and the Figure 1 renderer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import graph_local_mixing_time_congest
+from repro.congest import CongestNetwork
+from repro.constants import DEFAULT_EPS
+from repro.errors import GraphError
+from repro.gossip import track_token_phases
+from repro.graphs import generators as gen
+from repro.graphs.render import render_beta_barbell, verify_beta_barbell
+from repro.walks import (
+    local_mixing_spectrum,
+    local_mixing_time,
+    mixing_time,
+)
+
+
+class TestGraphWideCongest:
+    def test_matches_per_source_max(self):
+        g = gen.beta_barbell(3, 12)
+        net = CongestNetwork(g)
+        res = graph_local_mixing_time_congest(
+            net, beta=3, sources=[0, 18, 35], seed=1
+        )
+        assert res.time == max(res.per_source.values())
+        assert res.per_source[res.argmax_source] == res.time
+        assert not res.sampled
+
+    def test_sampled_flagged_and_bounded(self):
+        g = gen.beta_barbell(4, 12)
+        full = graph_local_mixing_time_congest(
+            CongestNetwork(g), beta=4, sources=range(0, g.n, 6), seed=2
+        )
+        samp = graph_local_mixing_time_congest(
+            CongestNetwork(g), beta=4, sample=4, seed=2
+        )
+        assert samp.sampled
+        assert len(samp.per_source) == 4
+        # sampling can only miss maxima, and on this homogeneous family
+        # both land on the same tiny value
+        assert samp.time <= full.time + 1
+
+    def test_rounds_accumulate_across_sources(self):
+        g = gen.beta_barbell(3, 12)
+        net = CongestNetwork(g)
+        one = graph_local_mixing_time_congest(net, beta=3, sources=[0], seed=3)
+        net2 = CongestNetwork(g)
+        three = graph_local_mixing_time_congest(
+            net2, beta=3, sources=[0, 12, 24], seed=3
+        )
+        assert three.rounds > one.rounds
+
+    def test_validation(self):
+        g = gen.beta_barbell(3, 8)
+        net = CongestNetwork(g)
+        with pytest.raises(ValueError):
+            graph_local_mixing_time_congest(net, beta=3, sample=0)
+        with pytest.raises(ValueError):
+            graph_local_mixing_time_congest(net, beta=3, sources=[])
+
+
+class TestSpectrum:
+    def test_minimum_over_large_sizes_is_local_mixing_time(self):
+        g = gen.beta_barbell(4, 16)
+        beta = 4
+        spec = local_mixing_spectrum(g, 0, sizes=list(range(16, 65)), t_max=3000)
+        tau = local_mixing_time(g, 0, beta=beta).time
+        finite = [t for R, t in spec.items() if R >= g.n / beta and t != math.inf]
+        assert min(finite) == tau
+
+    def test_full_size_equals_uniform_mixing(self):
+        g = gen.random_regular(32, 6, seed=4)
+        spec = local_mixing_spectrum(g, 0, sizes=[g.n])
+        assert spec[g.n] == mixing_time(g, 0, DEFAULT_EPS)
+
+    def test_never_mixing_sizes_inf(self):
+        # strict halves of barbell cliques never hold ~all the mass
+        g = gen.beta_barbell(4, 16)
+        spec = local_mixing_spectrum(g, 0, sizes=[3], t_max=500)
+        assert spec[3] == math.inf
+
+    def test_default_grid(self):
+        g = gen.beta_barbell(2, 12)
+        spec = local_mixing_spectrum(g, 0, t_max=4000)
+        assert max(spec) == g.n
+        assert all(isinstance(k, int) for k in spec)
+
+    def test_validation(self):
+        g = gen.beta_barbell(2, 8)
+        with pytest.raises(ValueError):
+            local_mixing_spectrum(g, 0, eps=0)
+        with pytest.raises(ValueError):
+            local_mixing_spectrum(g, 0, sizes=[0])
+        from repro.errors import BipartiteGraphError
+
+        with pytest.raises(BipartiteGraphError):
+            local_mixing_spectrum(gen.path_graph(6), 0)
+
+
+class TestPhaseTracking:
+    def test_doubling_then_target(self):
+        g = gen.beta_barbell(4, 16)
+        tau = local_mixing_time(g, 0, beta=4).time
+        trace = track_token_phases(g, 0, beta=4, phase_length=tau, seed=5)
+        assert trace.holders[0] == 1
+        assert trace.phases_to_target is not None
+        assert trace.phases_to_target <= 4 * math.ceil(math.log2(g.n))
+        assert trace.holders[trace.phases_to_target] >= trace.target
+
+    def test_early_ratios_grow(self):
+        g = gen.random_regular(128, 8, seed=6)
+        trace = track_token_phases(g, 0, beta=4, phase_length=9, seed=6)
+        ratios = trace.doubling_ratios
+        assert ratios, "should record at least one growth phase"
+        assert ratios[0] >= 1.5  # near-doubling while uninformed
+
+    def test_monotone_holders(self):
+        g = gen.beta_barbell(3, 8)
+        trace = track_token_phases(g, 5, beta=3, phase_length=2, seed=7)
+        assert all(b >= a for a, b in zip(trace.holders, trace.holders[1:]))
+
+    def test_validation(self):
+        g = gen.cycle_graph(9)
+        with pytest.raises(ValueError):
+            track_token_phases(g, 99, beta=2, phase_length=1)
+        with pytest.raises(ValueError):
+            track_token_phases(g, 0, beta=2, phase_length=0)
+        with pytest.raises(ValueError):
+            track_token_phases(g, 0, beta=0.5, phase_length=1)
+
+
+class TestRender:
+    def test_verify_accepts_genuine_barbell(self):
+        g = gen.beta_barbell(3, 5)
+        verify_beta_barbell(g, 3, 5)  # no raise
+
+    def test_verify_rejects_wrong_params(self):
+        g = gen.beta_barbell(3, 5)
+        with pytest.raises(GraphError):
+            verify_beta_barbell(g, 5, 3)
+
+    def test_verify_rejects_non_barbell(self):
+        g = gen.cycle_graph(15)
+        with pytest.raises(GraphError):
+            verify_beta_barbell(g, 3, 5)
+
+    def test_render_contains_structure(self):
+        g = gen.beta_barbell(4, 8)
+        art = render_beta_barbell(g, 4, 8)
+        assert art.count("(K_8)") == 4
+        assert "---" in art
+        assert "(7,8)" in art  # first bridge

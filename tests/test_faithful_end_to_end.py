@@ -1,0 +1,66 @@
+"""End-to-end faithful-mode runs of the full distributed algorithms.
+
+Everything else cross-validates layers primitive by primitive; these tests
+run the complete Algorithm 2 / exact-algorithm pipelines through the
+per-node message-passing engine and require exact agreement with the fast
+layer on outputs AND total costs.  Kept at small n — the faithful engine is
+the readable reference, not the fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    exact_local_mixing_time_congest,
+    local_mixing_time_congest,
+)
+from repro.congest import CongestNetwork
+from repro.graphs import generators as gen
+
+
+CASES = [
+    ("barbell(3,8)", lambda: gen.beta_barbell(3, 8), 3, 0.15),
+    ("rr(16,4)", lambda: gen.random_regular(16, 4, seed=3), 2, 0.15),
+    ("K12", lambda: gen.complete_graph(12), 2, 0.15),
+]
+
+
+@pytest.mark.parametrize("name,maker,beta,eps", CASES, ids=[c[0] for c in CASES])
+class TestAlgorithm2Faithful:
+    def test_agrees_with_fast_layer(self, name, maker, beta, eps):
+        g = maker()
+        fast = CongestNetwork(g, mode="fast")
+        slow = CongestNetwork(g, mode="faithful")
+        rf = local_mixing_time_congest(fast, 0, beta=beta, eps=eps, seed=11)
+        rs = local_mixing_time_congest(slow, 0, beta=beta, eps=eps, seed=11)
+        assert rf.time == rs.time
+        assert rf.set_size == rs.set_size
+        assert rf.deviation == pytest.approx(rs.deviation, abs=1e-12)
+        assert rf.rounds == rs.rounds
+        assert fast.ledger.messages == slow.ledger.messages
+        assert fast.ledger.bits == slow.ledger.bits
+
+
+class TestExactFaithful:
+    def test_exact_algorithm_faithful(self):
+        g = gen.beta_barbell(3, 8)
+        fast = CongestNetwork(g, mode="fast")
+        slow = CongestNetwork(g, mode="faithful")
+        rf = exact_local_mixing_time_congest(fast, 0, beta=3, eps=0.15, seed=5)
+        rs = exact_local_mixing_time_congest(slow, 0, beta=3, eps=0.15, seed=5)
+        assert rf.time == rs.time
+        assert rf.rounds == rs.rounds
+        assert fast.ledger.bits == slow.ledger.bits
+
+    def test_phase_breakdown_agrees(self):
+        g = gen.complete_graph(10)
+        fast = CongestNetwork(g, mode="fast")
+        slow = CongestNetwork(g, mode="faithful")
+        local_mixing_time_congest(fast, 0, beta=2, eps=0.2, seed=7)
+        local_mixing_time_congest(slow, 0, beta=2, eps=0.2, seed=7)
+        # NOTE: the faithful engine books each primitive's rounds under the
+        # same phase label, so the per-phase ledgers must agree too.
+        for phase in ("bfs", "flooding", "ksearch", "convergecast"):
+            assert fast.ledger.phase_rounds(phase) == slow.ledger.phase_rounds(
+                phase
+            ), phase

@@ -1,0 +1,223 @@
+"""Unit tests for repro.graphs.generators — every family's structural
+invariants (sizes, degrees, connectivity, the Figure 1 barbell layout)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.properties import diameter, shortest_path_lengths_from
+
+
+class TestComplete:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_structure(self, n):
+        g = gen.complete_graph(n)
+        assert g.n == n
+        assert g.m == n * (n - 1) // 2
+        assert g.is_regular and g.regular_degree == n - 1
+        assert g.is_connected
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            gen.complete_graph(1)
+
+
+class TestPathCycle:
+    def test_path(self):
+        g = gen.path_graph(6)
+        assert g.m == 5
+        assert g.degrees.tolist() == [1, 2, 2, 2, 2, 1]
+        assert diameter(g) == 5
+        assert g.is_bipartite
+
+    def test_cycle(self):
+        g = gen.cycle_graph(7)
+        assert g.m == 7
+        assert g.is_regular and g.regular_degree == 2
+        assert diameter(g) == 3
+
+    def test_minimums(self):
+        with pytest.raises(GraphError):
+            gen.path_graph(1)
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+
+class TestBetaBarbell:
+    """Figure 1: a path of β equal-sized cliques."""
+
+    @pytest.mark.parametrize("beta,k", [(1, 4), (2, 3), (3, 5), (5, 8)])
+    def test_node_and_edge_counts(self, beta, k):
+        g = gen.beta_barbell(beta, k)
+        assert g.n == beta * k
+        assert g.m == beta * k * (k - 1) // 2 + (beta - 1)
+
+    def test_clique_blocks_are_cliques(self):
+        g = gen.beta_barbell(4, 5)
+        for b in range(4):
+            block = range(b * 5, (b + 1) * 5)
+            for i in block:
+                for j in block:
+                    if i < j:
+                        assert g.has_edge(i, j)
+
+    def test_bridge_edges(self):
+        g = gen.beta_barbell(3, 4)
+        assert g.has_edge(3, 4)  # clique0 tail -> clique1 head
+        assert g.has_edge(7, 8)
+        assert not g.has_edge(0, 4)
+
+    def test_degree_profile(self):
+        k = 6
+        g = gen.beta_barbell(3, k)
+        deg = g.degrees
+        # interior clique nodes: k-1; bridge endpoints: k
+        assert int(deg.max()) == k
+        assert int(deg.min()) == k - 1
+        assert int(np.count_nonzero(deg == k)) == 2 * (3 - 1)
+
+    def test_diameter_theta_beta(self):
+        # D = 3*(beta-1) + ... each clique crossing is 1 hop, bridges 1 hop
+        g3 = gen.beta_barbell(3, 5)
+        g6 = gen.beta_barbell(6, 5)
+        assert diameter(g6) > diameter(g3)
+        assert diameter(g6) <= 3 * 6  # O(beta)
+
+    def test_connected_not_bipartite(self):
+        g = gen.beta_barbell(4, 4)
+        assert g.is_connected and not g.is_bipartite
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gen.beta_barbell(0, 4)
+        with pytest.raises(GraphError):
+            gen.beta_barbell(3, 1)
+
+
+class TestDumbbellLollipop:
+    def test_dumbbell_classic(self):
+        g = gen.dumbbell(4)
+        assert g.n == 8
+        assert g.m == 2 * 6 + 1
+        assert g.is_connected
+
+    def test_dumbbell_with_path(self):
+        g = gen.dumbbell(3, path_len=2)
+        assert g.n == 8
+        assert g.is_connected
+        assert shortest_path_lengths_from(g, 0)[-1] >= 3
+
+    def test_lollipop(self):
+        g = gen.lollipop(5, 3)
+        assert g.n == 8
+        assert g.m == 10 + 3
+        assert g.is_connected
+        assert g.degree(7) == 1  # tail end
+
+
+class TestStarBipartite:
+    def test_star(self):
+        g = gen.star_graph(6)
+        assert g.degree(0) == 5
+        assert g.is_bipartite
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.n == 7 and g.m == 12
+        assert g.is_bipartite
+        assert g.degrees.tolist() == [4] * 3 + [3] * 4
+
+
+class TestHypercubeTorus:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_hypercube(self, dim):
+        g = gen.hypercube(dim)
+        assert g.n == 2**dim
+        assert g.is_regular and g.regular_degree == dim
+        assert g.is_bipartite
+        assert diameter(g) == dim
+
+    def test_torus(self):
+        g = gen.torus_2d(4, 5)
+        assert g.n == 20
+        assert g.is_regular and g.regular_degree == 4
+        assert g.is_connected
+
+    def test_torus_min_size(self):
+        with pytest.raises(GraphError):
+            gen.torus_2d(2, 5)
+
+
+class TestCirculantBtree:
+    def test_circulant_degree(self):
+        g = gen.circulant(10, [1, 2])
+        assert g.is_regular and g.regular_degree == 4
+
+    def test_circulant_rejects_zero_offset(self):
+        with pytest.raises(GraphError):
+            gen.circulant(8, [0])
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert g.is_connected and g.is_bipartite
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (16, 4), (21, 4), (12, 5)])
+    def test_regularity(self, n, d):
+        g = gen.random_regular(n, d, seed=11)
+        assert g.n == n
+        assert g.is_regular and g.regular_degree == d
+        assert g.is_connected
+
+    def test_reproducible(self):
+        a = gen.random_regular(16, 4, seed=5)
+        b = gen.random_regular(16, 4, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gen.random_regular(20, 4, seed=1)
+        b = gen.random_regular(20, 4, seed=2)
+        assert a != b
+
+    def test_parity_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(9, 3)
+
+    def test_degree_too_big_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(5, 5)
+
+
+class TestMargulis:
+    def test_structure(self):
+        g = gen.margulis_expander(4)
+        assert g.n == 16
+        assert g.is_connected
+        assert int(g.degrees.max()) <= 8
+
+    def test_expansion(self):
+        from repro.spectral import spectral_gap
+
+        g = gen.margulis_expander(6)
+        assert spectral_gap(g) > 0.05  # bounded away from 0
+
+
+class TestExpanderChain:
+    def test_structure(self):
+        g = gen.clique_chain_of_expanders(3, 12, d=4, seed=3)
+        assert g.n == 36
+        assert g.is_connected
+
+    def test_bridges(self):
+        g = gen.clique_chain_of_expanders(3, 10, d=4, seed=3)
+        assert g.has_edge(9, 10)
+        assert g.has_edge(19, 20)
+
+    def test_parity_autofix(self):
+        # odd block with odd d must drop to an even-degree-sum config
+        g = gen.clique_chain_of_expanders(2, 9, d=5, seed=1)
+        assert g.is_connected

@@ -1,0 +1,198 @@
+"""Gossip layer: token matrix, push–pull dynamics, partial/full spreading,
+and the Theorem 3 termination rule."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_EPS
+from repro.gossip import (
+    PushPullSimulator,
+    TokenMatrix,
+    full_information_spreading,
+    partial_spreading_with_termination,
+    rounds_to_partial_spreading,
+    spreading_success_probability,
+)
+from repro.gossip.partial_spreading import is_partially_spread
+from repro.graphs import generators as gen
+from repro.walks import local_mixing_time
+
+
+class TestTokenMatrix:
+    def test_identity_diagonal(self):
+        tm = TokenMatrix.identity(10)
+        for u in range(10):
+            for t in range(10):
+                assert tm.has(u, t) == (u == t)
+
+    def test_give_and_has(self):
+        tm = TokenMatrix(5, 12)
+        tm.give(2, 11)
+        assert tm.has(2, 11)
+        assert not tm.has(2, 10)
+        assert not tm.has(1, 11)
+
+    def test_counts(self):
+        tm = TokenMatrix(4, 9)
+        tm.give(0, 0)
+        tm.give(0, 8)
+        tm.give(3, 8)
+        assert tm.node_counts().tolist() == [2, 0, 0, 1]
+        cov = tm.token_coverage()
+        assert cov[0] == 1 and cov[8] == 2 and cov[4] == 0
+
+    def test_as_bool_matches(self):
+        tm = TokenMatrix.identity(6)
+        np.testing.assert_array_equal(tm.as_bool(), np.eye(6, dtype=bool))
+
+    def test_copy_independent(self):
+        tm = TokenMatrix.identity(4)
+        cp = tm.copy()
+        cp.give(0, 3)
+        assert not tm.has(0, 3)
+
+    def test_non_multiple_of_8_tokens(self):
+        tm = TokenMatrix(3, 11)
+        tm.give(1, 10)
+        assert tm.token_coverage().shape == (11,)
+        assert tm.has(1, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenMatrix(0, 5)
+
+
+class TestPushPull:
+    def test_tokens_only_grow(self):
+        g = gen.beta_barbell(3, 5)
+        sim = PushPullSimulator(g, seed=1)
+        before = sim.tokens.node_counts().copy()
+        sim.run(5)
+        after = sim.tokens.node_counts()
+        assert (after >= before).all()
+
+    def test_exchange_is_symmetric(self):
+        # after one round, u and its partner share the union of their sets
+        g = gen.complete_graph(6)
+        sim = PushPullSimulator(g, seed=2)
+        sim.step()
+        tm = sim.tokens
+        for u in range(6):
+            assert tm.has(u, u)
+            assert tm.node_counts()[u] >= 2  # own + partner's
+
+    def test_complete_graph_spreads_log_fast(self):
+        g = gen.complete_graph(64)
+        sim = PushPullSimulator(g, seed=3)
+        sim.run(4 * math.ceil(math.log2(64)))
+        assert int(sim.tokens.node_counts().min()) > 16
+
+    def test_reproducible(self):
+        g = gen.cycle_graph(9)
+        a = PushPullSimulator(g, seed=4); a.run(6)
+        b = PushPullSimulator(g, seed=4); b.run(6)
+        np.testing.assert_array_equal(a.tokens.bits, b.tokens.bits)
+
+    def test_run_until(self):
+        g = gen.complete_graph(16)
+        sim = PushPullSimulator(g, seed=5)
+        hit = sim.run_until(
+            lambda tm: int(tm.node_counts().min()) >= 8, max_rounds=100
+        )
+        assert hit is not None and hit <= 100
+
+    def test_run_until_gives_none_on_timeout(self):
+        g = gen.cycle_graph(32)
+        sim = PushPullSimulator(g, seed=6)
+        assert sim.run_until(lambda tm: False, max_rounds=3) is None
+
+    def test_token_cap_slows_spreading(self):
+        g = gen.complete_graph(32)
+        fast = PushPullSimulator(g, seed=7)
+        capped = PushPullSimulator(g, seed=7, token_cap=1)
+        fast.run(8)
+        capped.run(8)
+        assert (
+            capped.tokens.node_counts().sum()
+            < fast.tokens.node_counts().sum()
+        )
+
+    def test_token_cap_respected_per_exchange(self):
+        g = gen.complete_graph(8)
+        sim = PushPullSimulator(g, seed=8, token_cap=1)
+        sim.step()
+        # after one round each node gained at most... it can serve many
+        # partners, but each exchange adds <= 1; with 8 nodes max gain = 8
+        assert int(sim.tokens.node_counts().max()) <= 1 + 8
+
+    def test_validation(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(ValueError):
+            PushPullSimulator(g, token_cap=0)
+        with pytest.raises(ValueError):
+            PushPullSimulator(g, tokens=TokenMatrix.identity(7))
+
+
+class TestPartialSpreading:
+    def test_predicate(self):
+        tm = TokenMatrix.identity(8)
+        assert not is_partially_spread(tm, 2)
+        assert is_partially_spread(tm, 8)  # each token at >= 1 node
+
+    def test_barbell_partial_fast(self):
+        g = gen.beta_barbell(4, 16)
+        r = rounds_to_partial_spreading(g, 4, seed=9)
+        assert r <= 40  # ~tau_local * log n, far below global spreading
+
+    def test_partial_faster_than_full_on_barbell(self):
+        g = gen.beta_barbell(4, 16)
+        r_part = rounds_to_partial_spreading(g, 4, seed=10)
+        r_full = full_information_spreading(g, seed=10).rounds
+        assert r_part < r_full
+
+    def test_theorem3_termination_rule(self):
+        g = gen.beta_barbell(4, 16)
+        tau = local_mixing_time(g, 0, beta=4).time
+        res = partial_spreading_with_termination(
+            g, 4, tau, seed=11, horizon_constant=3.0
+        )
+        assert res.success
+        assert res.min_token_coverage >= res.target
+        assert res.min_node_collection >= res.target
+
+    def test_success_probability_high(self):
+        g = gen.beta_barbell(4, 16)
+        tau = local_mixing_time(g, 0, beta=4).time
+        horizon = math.ceil(3 * tau * math.log(g.n))
+        p = spreading_success_probability(g, 4, horizon, trials=10, seed=12)
+        assert p >= 0.9
+
+    def test_success_probability_low_for_tiny_horizon(self):
+        g = gen.beta_barbell(4, 16)
+        p = spreading_success_probability(g, 4, 1, trials=10, seed=13)
+        assert p <= 0.2
+
+    def test_validation(self):
+        g = gen.cycle_graph(9)
+        with pytest.raises(ValueError):
+            rounds_to_partial_spreading(g, 0.5)
+        with pytest.raises(ValueError):
+            partial_spreading_with_termination(g, 2, 0)
+        with pytest.raises(ValueError):
+            spreading_success_probability(g, 2, 5, trials=0)
+
+
+class TestFullSpreading:
+    def test_complete_graph(self):
+        g = gen.complete_graph(32)
+        res = full_information_spreading(g, seed=14)
+        assert res.rounds <= 12 * math.ceil(math.log2(32))
+
+    def test_everyone_has_everything(self):
+        g = gen.beta_barbell(3, 5)
+        sim = PushPullSimulator(g, seed=15)
+        res = full_information_spreading(g, seed=15)
+        sim.run(res.rounds)
+        assert int(sim.tokens.node_counts().min()) == g.n

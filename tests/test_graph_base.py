@@ -1,0 +1,201 @@
+"""Unit tests for repro.graphs.base.Graph."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import DisconnectedGraphError, GraphError, NotRegularError
+from repro.graphs import Graph
+from repro.graphs import generators as gen
+
+
+class TestConstruction:
+    def test_basic_edge_list(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_reverse_orientation_collapses(self):
+        g = Graph(3, [(0, 1), (1, 2), (2, 1)])
+        assert g.m == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Graph(3, [(0, 3)])
+        with pytest.raises(GraphError, match="out of range"):
+            Graph(3, [(-1, 0)])
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_empty_graph_single_node(self):
+        g = Graph(1, [])
+        assert g.n == 1 and g.m == 0
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1, 2)])
+
+    def test_name_default_and_custom(self):
+        assert "n=3" in Graph(3, [(0, 1)]).name
+        assert Graph(3, [(0, 1)], name="tri").name == "tri"
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees.tolist() == [3, 1, 1, 1]
+        assert g.degree(0) == 3
+        assert g.degree(2) == 1
+
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3)])
+        assert g.neighbors(2).tolist() == [0, 3, 4]
+
+    def test_has_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 3)
+
+    def test_edges_iteration_canonical(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        g = Graph(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    def test_volume_is_twice_m(self):
+        g = gen.beta_barbell(3, 4)
+        assert g.volume == 2 * g.m
+
+    def test_len(self):
+        assert len(Graph(5, [(0, 1)])) == 5
+
+    def test_csr_arrays_read_only(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.indptr[0] = 5
+        with pytest.raises(ValueError):
+            g.indices[0] = 2
+        with pytest.raises(ValueError):
+            g.degrees[0] = 9
+
+
+class TestPredicates:
+    def test_regular_complete(self):
+        g = gen.complete_graph(6)
+        assert g.is_regular
+        assert g.regular_degree == 5
+
+    def test_not_regular_raises(self):
+        g = gen.star_graph(5)
+        assert not g.is_regular
+        with pytest.raises(NotRegularError):
+            _ = g.regular_degree
+
+    def test_connected(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected
+        assert not Graph(3, [(0, 1)]).is_connected
+
+    def test_require_connected_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            g.require_connected()
+
+    @pytest.mark.parametrize(
+        "maker,expect",
+        [
+            (lambda: gen.path_graph(6), True),
+            (lambda: gen.cycle_graph(8), True),
+            (lambda: gen.cycle_graph(9), False),
+            (lambda: gen.complete_graph(4), False),
+            (lambda: gen.hypercube(3), True),
+            (lambda: gen.star_graph(7), True),
+            (lambda: gen.beta_barbell(3, 4), False),
+        ],
+    )
+    def test_bipartite(self, maker, expect):
+        assert maker().is_bipartite is expect
+
+
+class TestConversions:
+    def test_networkx_round_trip(self):
+        g = gen.beta_barbell(3, 4)
+        g2 = Graph.from_networkx(g.to_networkx())
+        assert g == g2
+
+    def test_from_networkx_relabels(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([("c", "a"), ("a", "b")])
+        g = Graph.from_networkx(nxg)
+        assert g.n == 3
+        # sorted labels: a->0, b->1, c->2
+        assert g.has_edge(0, 2) and g.has_edge(0, 1)
+
+    def test_from_adjacency_dense(self):
+        adj = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        g = Graph.from_adjacency(adj)
+        assert g.m == 2 and g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_adjacency_matrix_symmetric(self):
+        g = gen.random_regular(12, 4, seed=3)
+        A = g.adjacency_matrix()
+        assert (A != A.T).nnz == 0
+        assert A.sum() == 2 * g.m
+
+    def test_from_csr_round_trip(self):
+        g = gen.cycle_graph(7)
+        g2 = Graph.from_csr(g.indptr, g.indices)
+        assert g == g2
+
+    def test_from_csr_rejects_asymmetric(self):
+        with pytest.raises(GraphError):
+            Graph.from_csr(np.array([0, 1, 1]), np.array([1]))
+
+
+class TestInducedSubgraph:
+    def test_clique_extraction(self):
+        g = gen.beta_barbell(3, 5)
+        sub, mapping = g.induced_subgraph(range(5))
+        assert sub.n == 5
+        assert sub.m == 10  # K5
+        assert mapping.tolist() == [0, 1, 2, 3, 4]
+
+    def test_mapping_preserves_edges(self):
+        g = gen.cycle_graph(8)
+        sub, mapping = g.induced_subgraph([0, 1, 2, 5])
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_empty_selection_rejected(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(GraphError):
+            g.induced_subgraph([])
+
+    def test_out_of_range_rejected(self):
+        g = gen.cycle_graph(5)
+        with pytest.raises(GraphError):
+            g.induced_subgraph([99])
+
+
+class TestEqualityHash:
+    def test_equality(self):
+        a = gen.cycle_graph(6)
+        b = Graph(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert gen.cycle_graph(6) != gen.path_graph(6)
+
+    def test_eq_other_type(self):
+        assert gen.cycle_graph(6) != "cycle"

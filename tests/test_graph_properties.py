@@ -1,0 +1,93 @@
+"""Unit tests for repro.graphs.properties against networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import Graph
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    bfs_layers,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    estimate_diameter_two_sweep,
+    shortest_path_lengths_from,
+)
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: gen.path_graph(9),
+        lambda: gen.cycle_graph(10),
+        lambda: gen.beta_barbell(3, 5),
+        lambda: gen.hypercube(4),
+        lambda: gen.random_regular(18, 4, seed=3),
+        lambda: gen.binary_tree(3),
+    ],
+)
+def test_distances_match_networkx(maker):
+    g = maker()
+    nxg = g.to_networkx()
+    for s in (0, g.n // 2, g.n - 1):
+        want = nx.single_source_shortest_path_length(nxg, s)
+        got = shortest_path_lengths_from(g, s)
+        for v in range(g.n):
+            assert got[v] == want.get(v, -1)
+
+
+def test_distances_disconnected_marked_minus_one():
+    g = Graph(4, [(0, 1), (2, 3)])
+    d = shortest_path_lengths_from(g, 0)
+    assert d.tolist() == [0, 1, -1, -1]
+
+
+def test_source_out_of_range():
+    with pytest.raises(ValueError):
+        shortest_path_lengths_from(gen.cycle_graph(5), 9)
+
+
+def test_bfs_layers_partition():
+    g = gen.beta_barbell(3, 4)
+    layers = bfs_layers(g, 0)
+    all_nodes = np.concatenate(layers)
+    assert sorted(all_nodes.tolist()) == list(range(g.n))
+    assert layers[0].tolist() == [0]
+
+
+@pytest.mark.parametrize(
+    "maker,expected",
+    [
+        (lambda: gen.path_graph(7), 6),
+        (lambda: gen.cycle_graph(8), 4),
+        (lambda: gen.complete_graph(5), 1),
+        (lambda: gen.hypercube(3), 3),
+    ],
+)
+def test_diameter_known_values(maker, expected):
+    assert diameter(maker()) == expected
+
+
+def test_diameter_matches_networkx():
+    g = gen.random_regular(20, 4, seed=9)
+    assert diameter(g) == nx.diameter(g.to_networkx())
+
+
+def test_eccentricity_disconnected_raises():
+    g = Graph(4, [(0, 1), (2, 3)])
+    with pytest.raises(DisconnectedGraphError):
+        eccentricity(g, 0)
+
+
+def test_two_sweep_lower_bound_and_exact_on_trees():
+    t = gen.binary_tree(4)
+    assert estimate_diameter_two_sweep(t) == diameter(t)
+    g = gen.random_regular(24, 4, seed=2)
+    assert estimate_diameter_two_sweep(g) <= diameter(g)
+
+
+def test_degree_histogram():
+    g = gen.star_graph(6)
+    assert degree_histogram(g) == {1: 5, 5: 1}

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+paper's structural invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph
+from repro.graphs import generators as gen
+from repro.utils.fitting import loglog_slope
+from repro.walks.local_mixing import UniformDeviationOracle, size_grid
+
+
+# --------------------------------------------------------------------- #
+# Oracle vs. brute force
+# --------------------------------------------------------------------- #
+
+probability_vectors = st.integers(3, 9).flatmap(
+    lambda n: st.lists(
+        st.floats(0.0, 1.0, allow_nan=False, width=32),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+def _normalize(values):
+    p = np.asarray(values, dtype=np.float64)
+    total = p.sum()
+    if total <= 0:
+        return np.full(p.size, 1.0 / p.size)
+    return p / total
+
+
+@given(probability_vectors, st.integers(0, 8), st.integers(1, 9))
+@settings(max_examples=120, deadline=None)
+def test_oracle_matches_bruteforce(values, src_raw, r_raw):
+    import itertools
+
+    p = _normalize(values)
+    n = p.size
+    src = src_raw % n
+    R = 1 + (r_raw - 1) % n
+    oracle = UniformDeviationOracle(p, source=src)
+    got, _ = oracle.best_sum(R)
+    brute = min(
+        float(np.abs(p[list(S)] - 1.0 / R).sum())
+        for S in itertools.combinations(range(n), R)
+    )
+    assert got == pytest.approx(brute, abs=1e-9)
+    got_src, _ = oracle.best_sum(R, require_source=True)
+    brute_src = min(
+        float(np.abs(p[list(S)] - 1.0 / R).sum())
+        for S in itertools.combinations(range(n), R)
+        if src in S
+    )
+    assert got_src == pytest.approx(brute_src, abs=1e-9)
+    assert got_src >= got - 1e-12  # constraint can only hurt
+
+
+@given(probability_vectors, st.integers(1, 9))
+@settings(max_examples=80, deadline=None)
+def test_witness_consistency(values, r_raw):
+    p = _normalize(values)
+    n = p.size
+    R = 1 + (r_raw - 1) % n
+    oracle = UniformDeviationOracle(p, source=0)
+    for rs in (False, True):
+        w = oracle.witness(R, require_source=rs)
+        s, _ = oracle.best_sum(R, require_source=rs)
+        assert len(w) == R == len(set(w.tolist()))
+        assert float(np.abs(p[w] - 1.0 / R).sum()) == pytest.approx(s, abs=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Size grid
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.integers(2, 3000),
+    st.floats(1.0, 64.0, allow_nan=False),
+    st.floats(0.01, 1.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_size_grid_invariants(n, beta, factor):
+    grid = size_grid(n, beta, factor)
+    assert grid[-1] == n
+    assert grid[0] >= math.ceil(n / beta) or grid[0] == n
+    assert grid == sorted(set(grid))
+    assert all(1 <= r <= n for r in grid)
+    # geometric growth: consecutive ratio at most (1+factor) plus the
+    # ceiling slack of one unit
+    for a, b in zip(grid, grid[1:-1]):
+        assert b <= math.ceil(a * (1 + factor)) + 1
+
+
+# --------------------------------------------------------------------- #
+# Graph construction invariants
+# --------------------------------------------------------------------- #
+
+edge_lists = st.integers(2, 12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=24,
+        ),
+    )
+)
+
+
+@given(edge_lists)
+@settings(max_examples=150, deadline=None)
+def test_graph_csr_invariants(data):
+    n, raw = data
+    edges = [(u, v) for u, v in raw if u != v]
+    g = Graph(n, edges)
+    # CSR consistency
+    assert g.indptr[0] == 0 and g.indptr[-1] == g.indices.size
+    assert g.indices.size == 2 * g.m
+    # symmetry and sorted adjacency
+    for u in range(n):
+        nbrs = g.neighbors(u)
+        assert (np.diff(nbrs) > 0).all() if nbrs.size > 1 else True
+        for v in nbrs:
+            assert g.has_edge(int(v), u)
+    # degree sum
+    assert int(g.degrees.sum()) == 2 * g.m
+
+
+@given(st.integers(2, 40), st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_walk_mass_conservation(n_raw, t):
+    n = max(n_raw, 3)
+    g = gen.cycle_graph(n)
+    from repro.walks import distribution_at
+
+    p = distribution_at(g, 0, t)
+    assert p.sum() == pytest.approx(1.0)
+    assert (p >= 0).all()
+
+
+@given(st.integers(3, 30))
+@settings(max_examples=40, deadline=None)
+def test_lemma1_monotone_on_cycles(n):
+    """Lemma 1 as a property over the cycle family (lazy walk so bipartite
+    even cycles are covered too)."""
+    g = gen.cycle_graph(max(n, 3))
+    from repro.spectral import stationary_distribution
+    from repro.walks import distribution_trajectory, l1_distance
+
+    pi = stationary_distribution(g)
+    last = math.inf
+    for t, p in distribution_trajectory(g, 0, lazy=True, t_max=25):
+        d = l1_distance(p, pi)
+        assert d <= last + 1e-12
+        last = d
+
+
+# --------------------------------------------------------------------- #
+# Fitting
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.floats(0.2, 3.0, allow_nan=False),
+    st.floats(0.5, 10.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_loglog_slope_recovers_exponent(exponent, coeff):
+    xs = np.array([8.0, 16.0, 32.0, 64.0, 128.0])
+    ys = coeff * xs**exponent
+    fit = loglog_slope(xs, ys)
+    assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+    assert fit.coeff == pytest.approx(coeff, rel=1e-6)
+    assert fit.residual < 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Token matrix
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.integers(1, 20),
+    st.integers(1, 30),
+    st.lists(st.tuples(st.integers(0, 19), st.integers(0, 29)), max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_token_matrix_counts_match_bool(n, k, gives):
+    from repro.gossip import TokenMatrix
+
+    tm = TokenMatrix(n, k)
+    for u, t in gives:
+        tm.give(u % n, t % k)
+    dense = tm.as_bool()
+    np.testing.assert_array_equal(tm.node_counts(), dense.sum(axis=1))
+    np.testing.assert_array_equal(tm.token_coverage(), dense.sum(axis=0))

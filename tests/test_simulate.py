@@ -1,0 +1,96 @@
+"""Unit tests for Monte-Carlo walkers and token diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.walks import (
+    distribution_at,
+    empirical_distribution,
+    random_walk,
+    token_diffusion,
+    walk_endpoints,
+)
+
+
+class TestRandomWalk:
+    def test_path_is_valid(self, barbell_small):
+        g = barbell_small
+        path = random_walk(g, 0, 50, seed=1)
+        assert path[0] == 0
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(int(a), int(b))
+
+    def test_lazy_may_stay(self, cycle9):
+        path = random_walk(cycle9, 0, 100, lazy=True, seed=2)
+        stays = sum(int(a == b) for a, b in zip(path, path[1:]))
+        assert stays > 20  # ~half the steps stay put
+
+    def test_reproducible(self, cycle9):
+        a = random_walk(cycle9, 0, 30, seed=3)
+        b = random_walk(cycle9, 0, 30, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_length(self, cycle9):
+        with pytest.raises(ValueError):
+            random_walk(cycle9, 0, -1)
+
+
+class TestWalkEndpoints:
+    def test_zero_length_stays_home(self, cycle9):
+        ends = walk_endpoints(cycle9, 4, 0, 50, seed=1)
+        assert (ends == 4).all()
+
+    def test_distribution_matches_exact(self, barbell_small):
+        g = barbell_small
+        t, k = 4, 60_000
+        ends = walk_endpoints(g, 0, t, k, seed=9)
+        emp = empirical_distribution(ends, g.n)
+        exact = distribution_at(g, 0, t)
+        # L1 sampling noise ~ sqrt(n/k) ≈ 0.016
+        assert np.abs(emp - exact).sum() < 0.05
+
+    def test_lazy_distribution_matches_exact(self, path8):
+        g = path8
+        ends = walk_endpoints(g, 3, 5, 60_000, lazy=True, seed=10)
+        emp = empirical_distribution(ends, g.n)
+        exact = distribution_at(g, 3, 5, lazy=True)
+        assert np.abs(emp - exact).sum() < 0.05
+
+    def test_validation(self, cycle9):
+        with pytest.raises(ValueError):
+            walk_endpoints(cycle9, 0, -1, 5)
+        with pytest.raises(ValueError):
+            walk_endpoints(cycle9, 0, 3, 0)
+
+
+class TestEmpiricalDistribution:
+    def test_normalizes(self):
+        d = empirical_distribution(np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_allclose(d, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.array([], dtype=int), 3)
+
+
+class TestTokenDiffusion:
+    def test_conserves_tokens(self, barbell_small):
+        counts = token_diffusion(barbell_small, 0, 7, 1000, seed=4)
+        assert counts.sum() == 1000
+
+    def test_matches_walker_distribution(self, cycle9):
+        g = cycle9
+        t, k = 5, 80_000
+        counts = token_diffusion(g, 0, t, k, seed=11)
+        emp = counts / k
+        exact = distribution_at(g, 0, t)
+        assert np.abs(emp - exact).sum() < 0.05
+
+    def test_lazy_conserves(self, path8):
+        counts = token_diffusion(path8, 0, 6, 500, lazy=True, seed=5)
+        assert counts.sum() == 500
+
+    def test_zero_tokens_rejected(self, cycle9):
+        with pytest.raises(ValueError):
+            token_diffusion(cycle9, 0, 3, 0)

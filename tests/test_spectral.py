@@ -1,0 +1,164 @@
+"""Unit tests for repro.spectral: operators, stationary distribution,
+eigenvalues, spectral gap, and textbook bound envelopes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_EPS
+from repro.errors import GraphError
+from repro.graphs import Graph
+from repro.graphs import generators as gen
+from repro.spectral import (
+    cheeger_bounds,
+    eigenvalues,
+    lazy_walk_operator,
+    mixing_time_bounds_from_gap,
+    relaxation_time,
+    second_eigenvalue,
+    spectral_gap,
+    stationary_distribution,
+    transition_matrix,
+    volume,
+    walk_operator,
+)
+from repro.walks import mixing_time
+
+
+class TestTransition:
+    def test_rows_stochastic(self, nonbipartite_graph):
+        P = transition_matrix(nonbipartite_graph)
+        np.testing.assert_allclose(
+            np.asarray(P.sum(axis=1)).ravel(), 1.0, atol=1e-12
+        )
+
+    def test_columns_of_walk_operator_stochastic(self, nonbipartite_graph):
+        A = walk_operator(nonbipartite_graph)
+        np.testing.assert_allclose(
+            np.asarray(A.sum(axis=0)).ravel(), 1.0, atol=1e-12
+        )
+
+    def test_entries_are_inverse_degree(self):
+        g = gen.star_graph(4)
+        P = transition_matrix(g).toarray()
+        assert P[0, 1] == pytest.approx(1 / 3)
+        assert P[1, 0] == 1.0
+
+    def test_lazy_operator_half_identity(self, cycle9):
+        A = walk_operator(cycle9)
+        L = lazy_walk_operator(cycle9)
+        np.testing.assert_allclose(
+            L.toarray(), 0.5 * np.eye(9) + 0.5 * A.toarray()
+        )
+
+    def test_isolated_node_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            transition_matrix(g)
+
+
+class TestStationary:
+    def test_proportional_to_degree(self, barbell_small):
+        pi = stationary_distribution(barbell_small)
+        deg = barbell_small.degrees
+        np.testing.assert_allclose(pi, deg / deg.sum())
+
+    def test_uniform_on_regular(self, complete8):
+        pi = stationary_distribution(complete8)
+        np.testing.assert_allclose(pi, 1.0 / 8)
+
+    def test_fixed_point_of_walk(self, nonbipartite_graph):
+        g = nonbipartite_graph
+        pi = stationary_distribution(g)
+        A = walk_operator(g)
+        np.testing.assert_allclose(A @ pi, pi, atol=1e-12)
+
+    def test_disconnected_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        from repro.errors import DisconnectedGraphError
+
+        with pytest.raises(DisconnectedGraphError):
+            stationary_distribution(g)
+
+    def test_volume(self, barbell_small):
+        assert volume(barbell_small) == 2 * barbell_small.m
+        assert volume(barbell_small, range(5)) == int(
+            barbell_small.degrees[:5].sum()
+        )
+
+    def test_volume_out_of_range(self, barbell_small):
+        with pytest.raises(ValueError):
+            volume(barbell_small, [99])
+
+
+class TestEigenvalues:
+    def test_complete_graph_spectrum(self):
+        # K_n walk matrix eigenvalues: 1 and -1/(n-1) (n-1 times)
+        n = 6
+        vals = eigenvalues(gen.complete_graph(n))
+        assert vals[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(vals[1:], -1.0 / (n - 1), atol=1e-10)
+
+    def test_cycle_spectrum(self):
+        # C_n: eigenvalues cos(2 pi k / n)
+        n = 8
+        vals = eigenvalues(gen.cycle_graph(n))
+        want = np.sort(np.cos(2 * np.pi * np.arange(n) / n))[::-1]
+        np.testing.assert_allclose(vals, want, atol=1e-10)
+
+    def test_top_eigenvalue_is_one(self, nonbipartite_graph):
+        assert eigenvalues(nonbipartite_graph)[0] == pytest.approx(1.0)
+
+    def test_bipartite_bottom_is_minus_one(self):
+        vals = eigenvalues(gen.cycle_graph(8))
+        assert vals[-1] == pytest.approx(-1.0)
+
+    def test_lazy_spectrum_nonnegative_shift(self, cycle9):
+        vals = eigenvalues(cycle9, lazy=True)
+        assert vals.min() >= -1e-12
+
+    def test_sparse_path_matches_dense(self):
+        g = gen.random_regular(30, 4, seed=4)
+        dense = eigenvalues(g)[:3]
+        sparse = eigenvalues(g, k=3)
+        np.testing.assert_allclose(dense, sparse, atol=1e-8)
+
+    def test_second_eigenvalue(self, complete8):
+        assert second_eigenvalue(complete8) == pytest.approx(-1 / 7)
+
+
+class TestGapAndBounds:
+    def test_gap_complete(self, complete8):
+        assert spectral_gap(complete8) == pytest.approx(1 + 1 / 7)
+
+    def test_absolute_gap_smaller_on_bipartite(self):
+        g = gen.cycle_graph(8)
+        assert spectral_gap(g, absolute=True) == pytest.approx(0.0, abs=1e-10)
+        assert spectral_gap(g) > 0
+
+    def test_relaxation_time_positive(self, nonbipartite_graph):
+        assert relaxation_time(nonbipartite_graph) >= 0.4
+
+    def test_mixing_bounds_bracket_true_value(self, nonbipartite_graph):
+        g = nonbipartite_graph
+        b = mixing_time_bounds_from_gap(g, DEFAULT_EPS)
+        t = mixing_time(g, 0, DEFAULT_EPS)
+        # The envelope holds up to small-constant slack on tiny graphs.
+        assert t <= 4 * b.upper + 2
+        assert t >= b.lower / 4 - 2
+
+    def test_bounds_validate_eps(self, complete8):
+        with pytest.raises(ValueError):
+            mixing_time_bounds_from_gap(complete8, 0.0)
+
+    def test_cheeger_brackets_conductance(self):
+        from repro.spectral import graph_conductance_exact
+
+        for maker in (lambda: gen.cycle_graph(9), lambda: gen.complete_graph(6),
+                      lambda: gen.beta_barbell(2, 5)):
+            g = maker()
+            lo, hi = cheeger_bounds(g, lazy=True)
+            phi = graph_conductance_exact(g)
+            assert lo <= phi + 1e-9
+            assert phi <= hi + 1e-9

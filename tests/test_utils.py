@@ -1,0 +1,119 @@
+"""Unit tests for repro.utils (seeding, validation, tables, fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_rng,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    ensure_int,
+    format_table,
+    loglog_slope,
+    spawn_rngs,
+)
+
+
+class TestSeeding:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_spawn_reproducible_and_distinct(self):
+        a = spawn_rngs(42, 3)
+        b = spawn_rngs(42, 3)
+        vals_a = [r.random() for r in a]
+        vals_b = [r.random() for r in b]
+        assert vals_a == vals_b
+        assert len(set(vals_a)) == 3
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(3), 2)
+        assert len(rngs) == 2
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 3) == 3
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0)
+        assert check_fraction("f", 1.0, closed_right=True) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+    def test_probability_vector(self):
+        p = check_probability_vector(np.array([0.25, 0.75]))
+        assert p.dtype == np.float64
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            check_probability_vector(np.ones((2, 2)) / 4)
+
+    def test_ensure_int(self):
+        assert ensure_int("k", 5.0) == 5
+        with pytest.raises(ValueError):
+            ensure_int("k", 5.5)
+        with pytest.raises(TypeError):
+            ensure_int("k", True)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000123456]])
+        assert "0.000123" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFitting:
+    def test_recovers_quadratic(self):
+        xs = [4, 8, 16, 32]
+        ys = [3 * x**2 for x in xs]
+        fit = loglog_slope(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coeff == pytest.approx(3.0)
+
+    def test_predict(self):
+        fit = loglog_slope([1, 2, 4], [2, 4, 8])
+        assert fit.predict(8) == pytest.approx(16.0)
+
+    def test_handles_zero_ys(self):
+        fit = loglog_slope([1, 2, 4, 8], [0, 1, 1, 1])
+        assert np.isfinite(fit.exponent)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([0, 1], [1, 1])
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [1, 2, 3])
