@@ -9,12 +9,21 @@ written to ``benchmarks/results/<name>.txt`` for later inspection.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 _TABLES: list[tuple[str, str]] = []
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def quick_mode() -> bool:
+    """True when ``REPRO_BENCH_QUICK`` is set (CI smoke settings): benchmarks
+    that consume it shrink their instances and relax timing assertions so
+    the experiment still runs end-to-end on a shared runner."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 @pytest.fixture

@@ -9,6 +9,9 @@ The package provides, bottom-up:
   gaps, conductance and weak conductance.
 * :mod:`repro.walks` — exact walk distributions, mixing times, and the
   centralized **local mixing time** (Definition 2).
+* :mod:`repro.engine` — the batched multi-source walk engine: block
+  trajectories (one sparse mat-mat per step for all sources) and batched
+  deviation oracles behind ``τ(β,ε) = max_v τ_v(β,ε)``.
 * :mod:`repro.congest` — a synchronous CONGEST-model simulator with per-edge
   bandwidth accounting (the substrate the paper's algorithms run on).
 * :mod:`repro.algorithms` — the paper's distributed algorithms: Algorithm 1
@@ -69,6 +72,12 @@ from repro.walks import (
     mixing_time,
     set_mixing_time,
 )
+from repro.engine import (
+    BatchedUniformDeviationOracle,
+    BlockPropagator,
+    batched_local_mixing_spectra,
+    batched_local_mixing_times,
+)
 
 __version__ = "1.0.0"
 
@@ -114,4 +123,9 @@ __all__ = [
     "graph_local_mixing_time",
     "set_mixing_time",
     "LocalMixingResult",
+    # engine (batched multi-source)
+    "BlockPropagator",
+    "BatchedUniformDeviationOracle",
+    "batched_local_mixing_times",
+    "batched_local_mixing_spectra",
 ]

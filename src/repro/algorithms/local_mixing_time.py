@@ -33,7 +33,7 @@ from repro.congest.network import CongestNetwork
 from repro.congest.tree_ops import convergecast_count
 from repro.congest.message import int_bits
 from repro.constants import DEFAULT_C, DEFAULT_EPS, MAX_WALK_LENGTH_FACTOR
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, ProtocolError
 from repro.utils.seeding import as_rng
 from repro.walks.local_mixing import size_grid
 
@@ -169,7 +169,11 @@ def local_mixing_time_congest(
         tree_size = convergecast_count(
             net, tree, tree.in_tree, int_bits(n), phase="convergecast"
         )
-        assert tree_size == tree.size
+        if tree_size != tree.size:
+            raise ProtocolError(
+                f"convergecast tree-size mismatch at phase ell={ell}: "
+                f"counted {tree_size}, tree has {tree.size} nodes"
+            )
         stopped, win_r, win_sum, best = _grid_check(
             net, tree, p_tilde, sizes, threshold, rng
         )

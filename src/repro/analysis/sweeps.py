@@ -16,7 +16,7 @@ from repro.graphs.base import Graph
 from repro.graphs.families import get_family
 from repro.graphs.properties import estimate_diameter_two_sweep
 from repro.utils.seeding import as_rng
-from repro.walks.local_mixing import local_mixing_time
+from repro.walks.local_mixing import graph_local_mixing_time, local_mixing_time
 from repro.walks.mixing import mixing_time
 
 __all__ = ["measure_graph", "family_sweep"]
@@ -31,13 +31,20 @@ def measure_graph(
     lazy: bool = False,
     sizes: str = "all",
     t_max: int | None = None,
+    all_sources: bool = False,
 ) -> dict:
-    """Measure one instance: τ_mix, τ_local, ratio, and structure."""
+    """Measure one instance: τ_mix, τ_local, ratio, and structure.
+
+    With ``all_sources=True`` the row also carries the paper's worst-case
+    ``τ(β,ε) = max_v τ_v(β,ε)`` — affordable on the batched multi-source
+    engine (one block trajectory for all ``n`` sources instead of ``n``
+    per-source runs).
+    """
     tau_mix = mixing_time(g, source, eps, lazy=lazy, t_max=t_max)
     tau_loc = local_mixing_time(
         g, source, beta, eps, lazy=lazy, sizes=sizes, t_max=t_max
     ).time
-    return {
+    row = {
         "graph": g.name,
         "n": g.n,
         "m": g.m,
@@ -49,6 +56,11 @@ def measure_graph(
         "tau_local": tau_loc,
         "ratio": tau_mix / max(tau_loc, 1),
     }
+    if all_sources:
+        row["tau_local_max"] = graph_local_mixing_time(
+            g, beta, eps, lazy=lazy, sizes=sizes, t_max=t_max
+        )
+    return row
 
 
 def family_sweep(
@@ -61,6 +73,7 @@ def family_sweep(
     source: int = 0,
     sizes: str = "all",
     t_max: int | None = None,
+    all_sources: bool = False,
 ) -> list[dict]:
     """Measure a :class:`~repro.graphs.families.GraphFamily` across sizes."""
     fam = get_family(family_key)
@@ -70,7 +83,14 @@ def family_sweep(
         g = fam.build(n, beta, rng)
         rows.append(
             measure_graph(
-                g, source, beta, eps, lazy=fam.lazy, sizes=sizes, t_max=t_max
+                g,
+                source,
+                beta,
+                eps,
+                lazy=fam.lazy,
+                sizes=sizes,
+                t_max=t_max,
+                all_sources=all_sources,
             )
         )
     return rows

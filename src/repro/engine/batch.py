@@ -1,0 +1,318 @@
+"""Multi-source local-mixing drivers on the batched engine.
+
+:func:`batched_local_mixing_times` computes ``τ_s(β,ε)`` for many sources at
+once and returns, per source, the **same**
+:class:`~repro.walks.local_mixing.LocalMixingResult` the per-source loop
+would produce — same ``time``, ``set_size``, bitwise-equal ``deviation`` and
+same bookkeeping counters.  Exactness is preserved by a two-phase check per
+``(t, R)`` grid point:
+
+1. the :class:`~repro.engine.oracle.BatchedUniformDeviationOracle` bounds
+   every live column's best deviation in ``O(k log n)``;
+2. only columns whose bound falls below ``threshold · (1 + 1e-9)`` are
+   re-examined with the exact single-source
+   :class:`~repro.walks.local_mixing.UniformDeviationOracle`, whose verdict
+   (and reported deviation) is what the per-source loop computes.  The fast
+   bound is evaluated with identical arithmetic at a true window start, so
+   it can exceed the exact scan minimum only by floating-point tie noise —
+   orders of magnitude below the ``1e-9`` relative slack — and a source can
+   therefore never stop earlier or later than its per-source run.
+
+Knobs the batch path does not cover (``require_source=True``, the
+``"degree"`` target) fall back to the per-source functions transparently, so
+callers can route every multi-source query through this module.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_EPS
+from repro.errors import ConvergenceError
+from repro.graphs.base import Graph
+from repro.engine.oracle import BatchedUniformDeviationOracle
+from repro.engine.propagator import BlockPropagator, block_distribution_at
+
+__all__ = ["batched_local_mixing_times", "batched_local_mixing_spectra"]
+
+#: Relative slack above the stopping threshold under which a fast bound is
+#: re-verified with the exact oracle (covers floating-point tie noise).
+_VERIFY_SLACK = 1e-9
+
+
+def _normalize_sources(g: Graph, sources) -> list[int]:
+    if sources is None:
+        sources = range(g.n)
+    out = [int(s) for s in sources]
+    if not out:
+        raise ValueError("need at least one source")
+    if min(out) < 0 or max(out) >= g.n:
+        raise ValueError("source out of range")
+    return out
+
+
+def _validate_schedule(schedule: str) -> None:
+    if schedule not in ("all", "doubling"):
+        raise ValueError(f"unknown t_schedule {schedule!r}")
+
+
+def batched_local_mixing_times(
+    g: Graph,
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    sources: Sequence[int] | None = None,
+    sizes: str | list[int] = "all",
+    threshold_factor: float = 1.0,
+    grid_factor: float | None = None,
+    t_schedule: str = "all",
+    t_max: int | None = None,
+    lazy: bool = False,
+    require_source: bool = False,
+    target: str = "uniform",
+    method: str = "iterative",
+    batch_size: int | None = None,
+) -> list["LocalMixingResult"]:
+    """``τ_s(β,ε)`` for every source in ``sources`` (default: all nodes).
+
+    Accepts the same semantics knobs as
+    :func:`~repro.walks.local_mixing.local_mixing_time` plus:
+
+    method:
+        ``"iterative"`` (default) advances the block one sparse mat-mat per
+        step — bitwise identical to the per-source loop.  ``"spectral"``
+        evaluates each scheduled ``t`` by random access through the shared
+        :func:`~repro.engine.propagator.shared_spectral_propagator` cache —
+        asymptotically better for doubling schedules with long gaps, but
+        floating-point-different from the iterative trajectory (results can
+        differ where a deviation sits within rounding noise of the
+        threshold).
+    batch_size:
+        Maximum number of source columns propagated at once (memory control
+        for large graphs).  Default: all sources in one block.
+
+    Returns the results in ``sources`` order.
+    """
+    from repro.walks.local_mixing import local_mixing_time
+
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    if beta < 1:
+        raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+    if method not in ("iterative", "spectral"):
+        raise ValueError(f"unknown method {method!r}")
+    src = _normalize_sources(g, sources)
+    if require_source or target != "uniform":
+        # Constrained / degree-target queries keep the per-source semantics.
+        return [
+            local_mixing_time(
+                g,
+                s,
+                beta,
+                eps,
+                sizes=sizes,
+                threshold_factor=threshold_factor,
+                grid_factor=grid_factor,
+                t_schedule=t_schedule,
+                t_max=t_max,
+                lazy=lazy,
+                require_source=require_source,
+                target=target,
+            )
+            for s in src
+        ]
+    from repro.walks.local_mixing import _candidate_sizes, _resolve_walk_bounds
+
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
+    grid_factor = eps if grid_factor is None else grid_factor
+    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    threshold = eps * threshold_factor
+    _validate_schedule(t_schedule)
+
+    results: list[LocalMixingResult | None] = [None] * len(src)
+    if batch_size is None:
+        batch_size = len(src)
+    elif batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for lo in range(0, len(src), batch_size):
+        chunk = src[lo : lo + batch_size]
+        for pos, res in _solve_chunk(
+            g, chunk, candidates, threshold, t_schedule, t_max, lazy, method
+        ):
+            results[lo + pos] = res
+    missing = [src[i] for i, r in enumerate(results) if r is None]
+    if missing:
+        raise ConvergenceError(
+            f"no local mixing found up to t_max={t_max} for sources "
+            f"{missing[:8]}{'…' if len(missing) > 8 else ''} "
+            f"(beta={beta}, eps={eps}, threshold={threshold})",
+            last_length=t_max,
+        )
+    return results  # type: ignore[return-value]
+
+
+def _solve_chunk(
+    g: Graph,
+    chunk: list[int],
+    candidates: list[int],
+    threshold: float,
+    t_schedule: str,
+    t_max: int,
+    lazy: bool,
+    method: str,
+):
+    """Yield ``(position_in_chunk, LocalMixingResult)`` as sources resolve."""
+    from repro.walks.local_mixing import (
+        LocalMixingResult,
+        UniformDeviationOracle,
+        _t_iter,
+    )
+
+    cutoff = threshold * (1.0 + _VERIFY_SLACK)
+    n_cand = len(candidates)
+    inv_r = np.array([1.0 / R for R in candidates])
+    col_pos = np.arange(len(chunk))  # chunk position per live column
+    prop = None
+    if method == "iterative":
+        prop = BlockPropagator(g, chunk, lazy=lazy)
+    for steps, t in enumerate(_t_iter(t_schedule, t_max), start=1):
+        if col_pos.size == 0:
+            return
+        if prop is not None:
+            P = prop.advance_to(t)
+        else:
+            P = block_distribution_at(
+                g, [chunk[i] for i in col_pos], t, lazy=lazy
+            )
+        oracle = BatchedUniformDeviationOracle(P)
+        k0_all = oracle.split_points(inv_r)
+        unresolved = np.ones(P.shape[1], dtype=bool)
+        exact: dict[int, UniformDeviationOracle] = {}
+        for r_idx, R in enumerate(candidates):
+            if not unresolved.any():
+                break
+            sums, _ = oracle.best_sums(R, k0=k0_all[r_idx])
+            for col in np.flatnonzero(unresolved & (sums < cutoff)):
+                col = int(col)
+                uo = exact.get(col)
+                if uo is None:
+                    uo = UniformDeviationOracle(P[:, col])
+                    exact[col] = uo
+                s_exact, _ = uo.best_sum(R)
+                if s_exact < threshold:
+                    unresolved[col] = False
+                    yield int(col_pos[col]), LocalMixingResult(
+                        time=t,
+                        set_size=R,
+                        deviation=s_exact,
+                        threshold=threshold,
+                        steps_checked=steps,
+                        sizes_checked=(steps - 1) * n_cand + r_idx + 1,
+                    )
+        keep = np.flatnonzero(unresolved)
+        if keep.size < col_pos.size:
+            col_pos = col_pos[keep]
+            if prop is not None:
+                prop.drop_columns(keep)
+
+
+def batched_local_mixing_spectra(
+    g: Graph,
+    eps: float = DEFAULT_EPS,
+    *,
+    sources: Sequence[int] | None = None,
+    sizes: list[int] | None = None,
+    grid_factor: float | None = None,
+    t_max: int | None = None,
+    lazy: bool = False,
+    require_source: bool = False,
+    method: str = "iterative",
+) -> list[dict[int, int | float]]:
+    """The multi-source local-mixing *spectrum*: for every source, for each
+    candidate set size ``R``, the first ``t`` with
+    ``min_{|S|=R} Σ|p_t − 1/R| < ε`` — one shared block trajectory instead
+    of one :func:`~repro.walks.local_mixing.local_mixing_spectrum` run per
+    source.  Results (in ``sources`` order) match the single-source function
+    exactly; sizes that never mix within ``t_max`` map to ``math.inf``.
+    """
+    from repro.walks.local_mixing import (
+        UniformDeviationOracle,
+        _resolve_walk_bounds,
+        local_mixing_spectrum,
+        size_grid,
+    )
+
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    if method not in ("iterative", "spectral"):
+        raise ValueError(f"unknown method {method!r}")
+    src = _normalize_sources(g, sources)
+    if require_source:
+        return [
+            local_mixing_spectrum(
+                g,
+                s,
+                eps,
+                sizes=sizes,
+                grid_factor=grid_factor,
+                t_max=t_max,
+                lazy=lazy,
+                require_source=True,
+            )
+            for s in src
+        ]
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
+    if sizes is None:
+        sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
+    else:
+        sizes = sorted(set(int(s) for s in sizes))
+        if not sizes or sizes[0] < 1 or sizes[-1] > g.n:
+            raise ValueError("sizes out of range")
+
+    cutoff = eps * (1.0 + _VERIFY_SLACK)
+    inv_r = np.array([1.0 / R for R in sizes])
+    out: list[dict[int, int | float]] = [{} for _ in src]
+    col_pos = np.arange(len(src))
+    # unresolved[c, r]: column c has not yet mixed at sizes[r].
+    unresolved = np.ones((len(src), len(sizes)), dtype=bool)
+    prop = BlockPropagator(g, src, lazy=lazy) if method == "iterative" else None
+    for t in range(t_max + 1):
+        if col_pos.size == 0:
+            break
+        if prop is not None:
+            P = prop.advance_to(t)
+        else:
+            P = block_distribution_at(
+                g, [src[i] for i in col_pos], t, lazy=lazy
+            )
+        oracle = BatchedUniformDeviationOracle(P)
+        k0_all = oracle.split_points(inv_r)
+        exact: dict[int, UniformDeviationOracle] = {}
+        live = unresolved[col_pos]
+        for r_idx, R in enumerate(sizes):
+            if not live[:, r_idx].any():
+                continue
+            sums, _ = oracle.best_sums(R, k0=k0_all[r_idx])
+            for col in np.flatnonzero(live[:, r_idx] & (sums < cutoff)):
+                col = int(col)
+                uo = exact.get(col)
+                if uo is None:
+                    uo = UniformDeviationOracle(P[:, col])
+                    exact[col] = uo
+                s_exact, _ = uo.best_sum(R)
+                if s_exact < eps:
+                    pos = int(col_pos[col])
+                    out[pos][R] = t
+                    unresolved[pos, r_idx] = False
+        keep = np.flatnonzero(unresolved[col_pos].any(axis=1))
+        if keep.size < col_pos.size:
+            col_pos = col_pos[keep]
+            if prop is not None:
+                prop.drop_columns(keep)
+    for pos in range(len(src)):
+        for R in sizes:
+            out[pos].setdefault(R, math.inf)
+    return out

@@ -112,6 +112,22 @@ class Graph:
         g._indices.setflags(write=False)
         g.name = name or f"graph(n={n}, m={indices.size // 2})"
         if validate:
+            if indices.size:
+                if indices.min() < 0 or indices.max() >= n:
+                    raise GraphError("neighbor index out of range")
+                # Rows must be sorted strictly increasing: has_edge/neighbors
+                # consumers rely on searchsorted lookups, and a duplicate
+                # within a row would be a parallel edge.
+                if indices.size > 1:
+                    inner = np.ones(indices.size - 1, dtype=bool)
+                    bounds = indptr[1:-1]
+                    bounds = bounds[(bounds > 0) & (bounds < indices.size)]
+                    inner[bounds - 1] = False
+                    if np.any(np.diff(indices)[inner] <= 0):
+                        raise GraphError(
+                            "neighbor rows must be sorted strictly "
+                            "increasing (duplicate or unsorted entries)"
+                        )
             adj = g.adjacency_matrix()
             if (adj != adj.T).nnz:
                 raise GraphError("CSR arrays are not symmetric")
@@ -314,4 +330,10 @@ class Graph:
         )
 
     def __hash__(self) -> int:
-        return hash((self._n, self._indices.tobytes()))
+        # Memoized: graphs are immutable and hashing serializes the full
+        # indices array, which hash-keyed caches (e.g. the engine's shared
+        # spectral-propagator cache) would otherwise redo on every lookup.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = self.__dict__["_hash"] = hash((self._n, self._indices.tobytes()))
+        return h

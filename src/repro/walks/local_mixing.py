@@ -229,6 +229,18 @@ def _candidate_sizes(n: int, beta: float, sizes, grid_factor: float) -> list[int
     return out
 
 
+def _resolve_walk_bounds(g: Graph, lazy: bool, t_max: int | None) -> int:
+    """Shared preconditions for walk-length searches (centralized and the
+    batch engine): the graph must be connected and, unless the walk is lazy,
+    non-bipartite; returns ``t_max`` with the ``O(n³)`` default applied."""
+    g.require_connected()
+    if not lazy and g.is_bipartite:
+        raise BipartiteGraphError(
+            f"{g.name} is bipartite; pass lazy=True for a well-defined walk"
+        )
+    return MAX_WALK_LENGTH_FACTOR * g.n**3 if t_max is None else t_max
+
+
 def _t_iter(schedule: str, t_max: int):
     if schedule == "all":
         t = 0
@@ -280,13 +292,7 @@ def local_mixing_time(
         raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
     if not 0 <= source < g.n:
         raise ValueError("source out of range")
-    g.require_connected()
-    if not lazy and g.is_bipartite:
-        raise BipartiteGraphError(
-            f"{g.name} is bipartite; pass lazy=True for a well-defined walk"
-        )
-    if t_max is None:
-        t_max = MAX_WALK_LENGTH_FACTOR * g.n**3
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
     grid_factor = eps if grid_factor is None else grid_factor
     candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
     threshold = eps * threshold_factor
@@ -377,11 +383,27 @@ def graph_local_mixing_time(
     eps: float = DEFAULT_EPS,
     *,
     sources=None,
+    engine: str = "batch",
     **kwargs,
 ) -> int:
     """``τ(β,ε) = max_v τ_v(β,ε)`` — optionally over a sample of sources
     (the paper notes a full pass costs an ``O(n)`` factor; sampling is
-    appropriate when local mixing times are homogeneous)."""
+    appropriate when local mixing times are homogeneous).
+
+    By default the sources are solved together on the batched multi-source
+    engine (:mod:`repro.engine`): one block trajectory and one batched
+    deviation oracle replace the per-source loop, with identical per-source
+    outputs.  ``engine="loop"`` forces the original per-source loop (the
+    reference the engine is validated against)."""
+    if engine not in ("batch", "loop"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "batch":
+        from repro.engine import batched_local_mixing_times
+
+        results = batched_local_mixing_times(
+            g, beta, eps, sources=sources, **kwargs
+        )
+        return max(r.time for r in results)
     if sources is None:
         sources = range(g.n)
     return max(
@@ -437,13 +459,7 @@ def local_mixing_spectrum(
     """
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0,1)")
-    g.require_connected()
-    if not lazy and g.is_bipartite:
-        raise BipartiteGraphError(
-            f"{g.name} is bipartite; pass lazy=True for a well-defined walk"
-        )
-    if t_max is None:
-        t_max = MAX_WALK_LENGTH_FACTOR * g.n**3
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
     if sizes is None:
         sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
     else:

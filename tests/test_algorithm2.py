@@ -181,3 +181,20 @@ class TestEndToEndSemantics:
         assert res.time <= 4
         assert tau_mix > 1000
         assert res.rounds < tau_mix  # cheaper than even one global pass
+
+
+class TestProtocolInvariants:
+    def test_convergecast_mismatch_raises_protocol_error(self, monkeypatch):
+        """Regression: the tree-size invariant used to be a bare ``assert``,
+        silently stripped under ``python -O``; it must raise ProtocolError."""
+        import repro.algorithms.local_mixing_time as alg2_mod
+        from repro.errors import ProtocolError
+
+        def bad_convergecast(net, tree, values, bits, phase=None):
+            return -1  # a count no tree can produce
+
+        monkeypatch.setattr(alg2_mod, "convergecast_count", bad_convergecast)
+        g = gen.beta_barbell(3, 5)
+        net = CongestNetwork(g)
+        with pytest.raises(ProtocolError, match="tree-size mismatch"):
+            local_mixing_time_congest(net, 0, beta=3, seed=1)

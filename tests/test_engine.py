@@ -1,0 +1,264 @@
+"""Tests for the batched multi-source walk engine (repro.engine).
+
+The load-bearing property: every driver output is **identical** — including
+bitwise-equal deviations and bookkeeping counters — to the seed per-source
+loop it replaces, across graph families with very different spectra (an
+expander, the β-barbell, a cycle with its exactly-tied symmetric
+probabilities, and a lazy path).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchedUniformDeviationOracle,
+    BlockPropagator,
+    batched_local_mixing_spectra,
+    batched_local_mixing_times,
+    block_distribution_at,
+    shared_spectral_propagator,
+)
+from repro.errors import BipartiteGraphError, ConvergenceError
+from repro.graphs import generators as gen
+from repro.walks import distribution_at
+from repro.walks.distribution import SpectralPropagator, distribution_trajectory
+from repro.walks.local_mixing import (
+    UniformDeviationOracle,
+    graph_local_mixing_time,
+    local_mixing_spectrum,
+    local_mixing_time,
+)
+
+FAMILIES = [
+    # (graph, beta, lazy) — expander, barbell, odd cycle, bipartite path.
+    (gen.random_regular(48, 6, seed=2), 4.0, False),
+    (gen.beta_barbell(4, 8), 4.0, False),
+    (gen.cycle_graph(15), 3.0, False),
+    (gen.path_graph(12), 4.0, True),
+]
+
+
+def _loop_results(g, beta, lazy, **kwargs):
+    return [
+        local_mixing_time(g, s, beta, lazy=lazy, **kwargs) for s in range(g.n)
+    ]
+
+
+class TestBlockPropagator:
+    def test_matches_single_source_trajectory_bitwise(self):
+        g = gen.beta_barbell(3, 6)
+        sources = [0, 5, g.n - 1]
+        prop = BlockPropagator(g, sources)
+        refs = [distribution_trajectory(g, s) for s in sources]
+        for t, P in prop.trajectory(t_max=12):
+            for j, ref in enumerate(refs):
+                t_ref, p_ref = next(ref)
+                assert t_ref == t
+                assert np.array_equal(P[:, j], p_ref)
+
+    def test_lazy_operator(self):
+        g = gen.path_graph(8)
+        prop = BlockPropagator(g, [3], lazy=True)
+        prop.advance_to(5)
+        assert np.array_equal(prop.block[:, 0], distribution_at(g, 3, 5, lazy=True))
+
+    def test_drop_columns_keeps_survivors(self):
+        g = gen.cycle_graph(9)
+        prop = BlockPropagator(g, [0, 4, 7])
+        prop.advance_to(3)
+        expected = prop.block[:, 2].copy()
+        prop.drop_columns(np.array([2]))
+        assert prop.k == 1
+        assert prop.sources.tolist() == [7]
+        assert np.array_equal(prop.block[:, 0], expected)
+
+    def test_rewind_rejected(self):
+        prop = BlockPropagator(gen.cycle_graph(9), [0])
+        prop.advance_to(4)
+        with pytest.raises(ValueError, match="rewind"):
+            prop.advance_to(2)
+
+    def test_validation(self):
+        g = gen.cycle_graph(9)
+        with pytest.raises(ValueError):
+            BlockPropagator(g, [])
+        with pytest.raises(ValueError):
+            BlockPropagator(g, [9])
+
+
+class TestSpectralCache:
+    def test_shared_across_equal_graphs(self):
+        a = gen.cycle_graph(11)
+        b = gen.cycle_graph(11)
+        assert shared_spectral_propagator(a, False) is shared_spectral_propagator(b, False)
+
+    def test_lazy_flag_keys_separately(self):
+        g = gen.path_graph(8)
+        assert shared_spectral_propagator(g, True) is not shared_spectral_propagator(g, False)
+
+    def test_block_distribution_at_matches_per_column(self):
+        g = gen.beta_barbell(3, 5)
+        prop = SpectralPropagator(g)
+        P = block_distribution_at(g, [0, 7], 6)
+        for j, s in enumerate([0, 7]):
+            np.testing.assert_allclose(P[:, j], prop.from_source(s, 6), atol=1e-12)
+
+    def test_block_propagate_matches_vector_propagate(self):
+        g = gen.cycle_graph(9)
+        prop = SpectralPropagator(g, lazy=True)
+        rng = np.random.default_rng(0)
+        block = rng.dirichlet(np.ones(g.n), size=3).T
+        out = prop.propagate(block, 7)
+        for j in range(3):
+            np.testing.assert_allclose(
+                out[:, j], prop.propagate(block[:, j], 7), atol=1e-13
+            )
+
+
+class TestBatchedOracle:
+    def test_matches_single_source_oracle(self):
+        rng = np.random.default_rng(5)
+        P = rng.dirichlet(np.ones(40), size=7).T
+        oracle = BatchedUniformDeviationOracle(P)
+        for R in (1, 3, 11, 25, 39, 40):
+            sums, _ = oracle.best_sums(R)
+            for j in range(P.shape[1]):
+                ref, _ = UniformDeviationOracle(P[:, j]).best_sum(R)
+                assert sums[j] == ref
+
+    def test_tied_values_match_scan_minimum(self):
+        # Uniform columns: every window sum ties exactly.
+        P = np.full((30, 4), 1.0 / 30)
+        oracle = BatchedUniformDeviationOracle(P)
+        for R in (2, 10, 29):
+            sums, _ = oracle.best_sums(R)
+            ref, _ = UniformDeviationOracle(P[:, 0]).best_sum(R)
+            np.testing.assert_allclose(sums, ref, rtol=0, atol=1e-15)
+
+    def test_split_points(self):
+        P = np.array([[0.1, 0.4], [0.2, 0.4], [0.7, 0.2]])
+        oracle = BatchedUniformDeviationOracle(P)
+        k0 = oracle.split_points(np.array([0.3]))
+        assert k0.tolist() == [[2, 1]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="block"):
+            BatchedUniformDeviationOracle(np.ones(5))
+        oracle = BatchedUniformDeviationOracle(np.ones((5, 2)) / 5)
+        with pytest.raises(ValueError, match="out of range"):
+            oracle.best_sums(6)
+
+
+class TestBatchedLocalMixingTimes:
+    @pytest.mark.parametrize("g,beta,lazy", FAMILIES, ids=lambda v: str(v))
+    def test_identical_to_per_source_loop(self, g, beta, lazy):
+        batch = batched_local_mixing_times(g, beta, lazy=lazy)
+        assert batch == _loop_results(g, beta, lazy)
+
+    def test_identical_under_algorithm2_knobs(self):
+        g = gen.beta_barbell(4, 8)
+        knobs = dict(sizes="grid", threshold_factor=4.0, t_schedule="doubling")
+        batch = batched_local_mixing_times(g, 4.0, **knobs)
+        assert batch == _loop_results(g, 4.0, False, **knobs)
+
+    def test_chunked_equals_unchunked(self):
+        g = gen.random_regular(30, 4, seed=7)
+        full = batched_local_mixing_times(g, 3.0)
+        chunked = batched_local_mixing_times(g, 3.0, batch_size=7)
+        assert full == chunked
+
+    def test_source_subset_order(self):
+        g = gen.beta_barbell(4, 8)
+        sub = batched_local_mixing_times(g, 4.0, sources=[11, 2, 5])
+        assert sub == [
+            local_mixing_time(g, s, 4.0) for s in (11, 2, 5)
+        ]
+
+    def test_spectral_method_agrees_on_expander(self):
+        g = gen.random_regular(40, 6, seed=3)
+        it = batched_local_mixing_times(g, 4.0)
+        sp = batched_local_mixing_times(g, 4.0, method="spectral")
+        assert [r.time for r in sp] == [r.time for r in it]
+
+    def test_require_source_falls_back_identically(self):
+        g = gen.beta_barbell(4, 8)
+        srcs = [0, 9, 31]
+        batch = batched_local_mixing_times(
+            g, 4.0, sources=srcs, require_source=True
+        )
+        assert batch == [
+            local_mixing_time(g, s, 4.0, require_source=True) for s in srcs
+        ]
+
+    def test_degree_target_falls_back_identically(self):
+        g = gen.lollipop(8, 8)
+        batch = batched_local_mixing_times(
+            g, 2.0, sources=[0, 10], target="degree", lazy=True
+        )
+        assert batch == [
+            local_mixing_time(g, s, 2.0, target="degree", lazy=True)
+            for s in (0, 10)
+        ]
+
+    def test_convergence_error(self):
+        g = gen.beta_barbell(4, 8)
+        with pytest.raises(ConvergenceError):
+            batched_local_mixing_times(g, 1.0, t_max=3)
+
+    def test_bipartite_requires_lazy(self):
+        with pytest.raises(BipartiteGraphError):
+            batched_local_mixing_times(gen.path_graph(8), 2.0)
+
+    def test_validation(self):
+        g = gen.cycle_graph(9)
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 0.5)
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 2.0, eps=1.5)
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 2.0, sources=[])
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 2.0, sources=[9])
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 2.0, method="magic")
+        with pytest.raises(ValueError):
+            batched_local_mixing_times(g, 2.0, t_schedule="fib")
+        with pytest.raises(ValueError, match="batch_size"):
+            batched_local_mixing_times(g, 2.0, batch_size=0)
+
+
+class TestGraphLocalMixingTime:
+    def test_batch_equals_loop_engine(self):
+        g = gen.random_regular(36, 4, seed=4)
+        assert graph_local_mixing_time(g, 3.0) == graph_local_mixing_time(
+            g, 3.0, engine="loop"
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            graph_local_mixing_time(gen.cycle_graph(9), 2.0, engine="warp")
+
+
+class TestBatchedSpectra:
+    def test_identical_to_single_source_spectrum(self):
+        g = gen.beta_barbell(3, 6)
+        spectra = batched_local_mixing_spectra(g, t_max=400)
+        for s in range(g.n):
+            assert spectra[s] == local_mixing_spectrum(g, s, t_max=400)
+
+    def test_lazy_cycle(self):
+        g = gen.cycle_graph(10)
+        spectra = batched_local_mixing_spectra(
+            g, sources=[0, 5], t_max=300, lazy=True
+        )
+        for pos, s in enumerate([0, 5]):
+            assert spectra[pos] == local_mixing_spectrum(
+                g, s, t_max=300, lazy=True
+            )
+
+    def test_unmixed_sizes_are_inf(self):
+        g = gen.beta_barbell(4, 8)
+        spectra = batched_local_mixing_spectra(g, sources=[0], t_max=5)
+        assert math.inf in spectra[0].values()

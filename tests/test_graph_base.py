@@ -161,6 +161,37 @@ class TestConversions:
         with pytest.raises(GraphError):
             Graph.from_csr(np.array([0, 1, 1]), np.array([1]))
 
+    def test_from_csr_rejects_unsorted_rows(self):
+        # Regression: a triangle with unsorted neighbor rows used to pass
+        # validation, silently breaking the searchsorted-based has_edge
+        # (has_edge(0, 1) returned False on a triangle).
+        indptr = np.array([0, 2, 4, 6])
+        unsorted = np.array([2, 1, 0, 2, 1, 0])  # rows [2,1], [0,2], [1,0]
+        with pytest.raises(GraphError, match="sorted"):
+            Graph.from_csr(indptr, unsorted)
+        sorted_rows = np.array([1, 2, 0, 2, 0, 1])
+        g = Graph.from_csr(indptr, sorted_rows)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(0, 2)
+
+    def test_from_csr_rejects_duplicate_in_row(self):
+        indptr = np.array([0, 2, 4])
+        dup = np.array([1, 1, 0, 0])
+        with pytest.raises(GraphError, match="sorted"):
+            Graph.from_csr(indptr, dup)
+
+    def test_from_csr_rejects_out_of_range_index(self):
+        indptr = np.array([0, 1, 2])
+        bad = np.array([5, 0])
+        with pytest.raises(GraphError, match="out of range"):
+            Graph.from_csr(indptr, bad)
+
+    def test_from_csr_validate_false_adopts_verbatim(self):
+        # The documented contract: validate=False trusts the caller.
+        indptr = np.array([0, 2, 4, 6])
+        unsorted = np.array([2, 1, 0, 2, 1, 0])
+        g = Graph.from_csr(indptr, unsorted, validate=False)
+        assert g.n == 3
+
 
 class TestInducedSubgraph:
     def test_clique_extraction(self):

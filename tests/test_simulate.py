@@ -73,6 +73,20 @@ class TestEmpiricalDistribution:
         with pytest.raises(ValueError):
             empirical_distribution(np.array([], dtype=int), 3)
 
+    def test_out_of_range_endpoint_rejected(self):
+        # Regression: an endpoint id >= n used to silently stretch the
+        # result (n=3 input yielded a length-6 vector).
+        with pytest.raises(ValueError, match=r"\[0, 3\)"):
+            empirical_distribution(np.array([0, 1, 5]), 3)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.array([0, -1]), 3)
+
+    def test_result_length_is_n(self):
+        d = empirical_distribution(np.array([0, 2]), 3)
+        assert d.shape == (3,)
+
 
 class TestTokenDiffusion:
     def test_conserves_tokens(self, barbell_small):
@@ -94,3 +108,63 @@ class TestTokenDiffusion:
     def test_zero_tokens_rejected(self, cycle9):
         with pytest.raises(ValueError):
             token_diffusion(cycle9, 0, 3, 0)
+
+
+def _seed_token_diffusion(g, source, length, tokens, *, lazy=False, seed=None):
+    """The pre-vectorization implementation (per-active-node Python loop with
+    per-node multinomial splits), kept verbatim as the distributional
+    reference for the vectorized hot loop."""
+    from repro.utils.seeding import as_rng
+
+    rng = as_rng(seed)
+    counts = np.zeros(g.n, dtype=np.int64)
+    counts[source] = tokens
+    for _ in range(length):
+        nxt = np.zeros(g.n, dtype=np.int64)
+        for u in np.flatnonzero(counts):
+            u = int(u)
+            c = int(counts[u])
+            if lazy:
+                stay = int(rng.binomial(c, 0.5))
+                nxt[u] += stay
+                c -= stay
+            if c == 0:
+                continue
+            nbrs = g.neighbors(u)
+            split = rng.multinomial(c, np.full(nbrs.size, 1.0 / nbrs.size))
+            np.add.at(nxt, nbrs, split)
+        counts = nxt
+    return counts
+
+
+class TestTokenDiffusionVectorizedEquivalence:
+    """The grouped-sample hot loop must match the seed implementation in
+    distribution (per-node count histograms over repeated runs)."""
+
+    def test_matches_seed_implementation(self, cycle9):
+        g, t, tokens, trials = cycle9, 4, 3000, 40
+        vec = np.zeros(g.n)
+        ref = np.zeros(g.n)
+        for i in range(trials):
+            vec += token_diffusion(g, 0, t, tokens, seed=1000 + i)
+            ref += _seed_token_diffusion(g, 0, t, tokens, seed=2000 + i)
+        vec /= trials * tokens
+        ref /= trials * tokens
+        exact = distribution_at(g, 0, t)
+        assert np.abs(vec - ref).sum() < 0.03
+        assert np.abs(vec - exact).sum() < 0.03
+
+    def test_matches_seed_implementation_lazy(self, path8):
+        g, t, tokens, trials = path8, 5, 3000, 40
+        vec = np.zeros(g.n)
+        ref = np.zeros(g.n)
+        for i in range(trials):
+            vec += token_diffusion(g, 2, t, tokens, lazy=True, seed=3000 + i)
+            ref += _seed_token_diffusion(
+                g, 2, t, tokens, lazy=True, seed=4000 + i
+            )
+        vec /= trials * tokens
+        ref /= trials * tokens
+        exact = distribution_at(g, 2, t, lazy=True)
+        assert np.abs(vec - ref).sum() < 0.03
+        assert np.abs(vec - exact).sum() < 0.03
