@@ -10,8 +10,15 @@ The package provides, bottom-up:
 * :mod:`repro.walks` — exact walk distributions, mixing times, and the
   centralized **local mixing time** (Definition 2).
 * :mod:`repro.engine` — the batched multi-source walk engine: block
-  trajectories (one sparse mat-mat per step for all sources) and batched
-  deviation oracles behind ``τ(β,ε) = max_v τ_v(β,ε)``.
+  trajectories (one sparse mat-mat per step for all sources), batched
+  deviation oracles (grid kernels + search-free lower bounds) behind
+  ``τ(β,ε) = max_v τ_v(β,ε)``, and a controllable shared spectral cache.
+* :mod:`repro.dynamic` — dynamic networks: a mutable
+  :class:`~repro.dynamic.graph.DynamicGraph` overlay with structurally
+  memoized snapshots, update-schedule generators (edge-Markovian churn,
+  rewiring, bridge surgery, node join/leave), and the incremental
+  :class:`~repro.dynamic.tracker.MixingTracker` whose per-snapshot results
+  are identical to from-scratch batched recomputation.
 * :mod:`repro.congest` — a synchronous CONGEST-model simulator with per-edge
   bandwidth accounting (the substrate the paper's algorithms run on).
 * :mod:`repro.algorithms` — the paper's distributed algorithms: Algorithm 1
@@ -75,8 +82,24 @@ from repro.walks import (
 from repro.engine import (
     BatchedUniformDeviationOracle,
     BlockPropagator,
+    batched_local_mixing_profiles,
     batched_local_mixing_spectra,
     batched_local_mixing_times,
+    batched_mixing_times,
+    clear_propagator_cache,
+    propagator_cache_info,
+    set_propagator_cache_maxsize,
+)
+from repro.dynamic import (
+    DynamicGraph,
+    GraphUpdate,
+    MixingTracker,
+    TrackingTrace,
+    barbell_bridge_schedule,
+    edge_markovian_churn,
+    node_churn,
+    random_rewiring,
+    track_local_mixing,
 )
 
 __version__ = "1.0.0"
@@ -128,4 +151,19 @@ __all__ = [
     "BatchedUniformDeviationOracle",
     "batched_local_mixing_times",
     "batched_local_mixing_spectra",
+    "batched_local_mixing_profiles",
+    "batched_mixing_times",
+    "clear_propagator_cache",
+    "set_propagator_cache_maxsize",
+    "propagator_cache_info",
+    # dynamic networks
+    "DynamicGraph",
+    "GraphUpdate",
+    "MixingTracker",
+    "TrackingTrace",
+    "track_local_mixing",
+    "edge_markovian_churn",
+    "random_rewiring",
+    "barbell_bridge_schedule",
+    "node_churn",
 ]

@@ -8,6 +8,7 @@ from repro.analysis.theory import (
     grid_length,
 )
 from repro.analysis.sweeps import family_sweep, measure_graph
+from repro.analysis.temporal import summarize_trace, temporal_sweep, trace_rows
 from repro.analysis.report import reproduction_report
 from repro.analysis.conjecture import (
     ConjecturePoint,
@@ -20,6 +21,9 @@ __all__ = [
     "theorem3_round_bound",
     "grid_length",
     "family_sweep",
+    "temporal_sweep",
+    "trace_rows",
+    "summarize_trace",
     "reproduction_report",
     "ConjecturePoint",
     "weak_conductance_vs_local_mixing",

@@ -86,6 +86,44 @@ def reproduction_report(*, seed: int = 0) -> str:
     )
     checks.append(("batch engine matches per-source loop", agree))
 
+    # ---- dynamic networks ---------------------------------------------
+    lines.append(_section("Dynamic networks — incremental tau tracking"))
+    from repro.dynamic import (
+        DynamicGraph,
+        barbell_bridge_schedule,
+        track_local_mixing,
+    )
+
+    dyn_base, dyn_sched = barbell_bridge_schedule(
+        3, 12, cycles=4, hold=0, seed=seed
+    )
+    trace = track_local_mixing(dyn_base, dyn_sched, beta=3.0, t_max=2000)
+    ref_dyn = DynamicGraph(dyn_base)
+    agree_dyn = list(trace.snapshots[0].results) == batched_local_mixing_times(
+        ref_dyn.snapshot(), 3.0, t_max=2000
+    )
+    for snap, upd in zip(trace.snapshots[1:], dyn_sched):
+        ref_dyn.apply(upd)
+        agree_dyn = agree_dyn and list(snap.results) == batched_local_mixing_times(
+            ref_dyn.snapshot(), 3.0, t_max=2000
+        )
+    taus = trace.tau_trace
+    solved = trace.stats["solved_sources"]
+    total = sum(s.graph.n for s in trace.snapshots)
+    lines.append(
+        f"{dyn_base.name}: {len(dyn_sched)} bridge insert/remove events; "
+        f"tau(beta=3) stayed within [{min(taus)}, {max(taus)}] on every "
+        f"snapshot\n(local mixing is clique-local — shortcut bridges between "
+        f"cliques do not move it);\nincremental tracker re-solved only "
+        f"{solved}/{total} source queries ({solved / total:.0%}, "
+        f"{trace.stats['memo_hits']} snapshots straight from the structural "
+        f"memo)\nand matched the from-scratch engine everywhere: {agree_dyn}"
+    )
+    checks.append(("dynamic tracker == from-scratch engine", agree_dyn))
+    checks.append(
+        ("dynamic tau stable under bridge churn", max(taus) <= 2 * max(min(taus), 1))
+    )
+
     # ---- Theorems 1 and 2 ----------------------------------------------
     lines.append(_section("Theorems 1 & 2 — the distributed algorithms"))
     net = CongestNetwork(barb)

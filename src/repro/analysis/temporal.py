@@ -1,0 +1,87 @@
+"""Temporal sweeps: local-mixing time series over dynamic-network traces.
+
+The static harness (:mod:`repro.analysis.sweeps`) boils one graph instance
+down to one row; the temporal sweep boils one *update trace* down to one row
+per event — τ(β,ε) before/after, how many sources the incremental tracker
+actually re-solved, and whether the snapshot was answered from the
+structural memo.  Rows feed :func:`repro.utils.tables.format_table` exactly
+like the static sweeps, so benchmarks and EXPERIMENTS.md render uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_EPS
+from repro.dynamic.graph import DynamicGraph, GraphUpdate
+from repro.dynamic.tracker import TrackingTrace, track_local_mixing
+from repro.graphs.base import Graph
+
+__all__ = ["temporal_sweep", "trace_rows", "summarize_trace"]
+
+
+def _describe(update: GraphUpdate | None) -> str:
+    if update is None:
+        return "(initial)"
+    if update.kind in ("add", "remove"):
+        return f"{update.kind}({update.u},{update.v})"
+    if update.kind == "rewire":
+        return f"rewire({update.u},{update.v}->{update.w})"
+    if update.kind == "join":
+        return f"join(deg={len(update.neighbors)})"
+    return f"leave({update.u})"
+
+
+def trace_rows(trace: TrackingTrace) -> list[dict]:
+    """One table row per observed snapshot of a :class:`TrackingTrace`."""
+    rows = []
+    for snap in trace.snapshots:
+        times = snap.times
+        rows.append(
+            {
+                "event": snap.index,
+                "update": _describe(snap.update),
+                "n": snap.graph.n,
+                "m": snap.graph.m,
+                "tau_max": snap.tau,
+                "tau_mean": float(np.mean(times)),
+                "solved": snap.solved_sources,
+                "reused": snap.reused_sources,
+                "memo_hit": snap.memo_hit,
+                "ms": snap.seconds * 1e3,
+            }
+        )
+    return rows
+
+
+def summarize_trace(trace: TrackingTrace) -> dict:
+    """Trace-level aggregates: the τ range, total tracker work and the
+    incremental-reuse fraction (solved / (solved + reused + memoized))."""
+    taus = trace.tau_trace
+    stats = trace.stats
+    total_sources = sum(s.graph.n for s in trace.snapshots)
+    solved = stats.get("solved_sources", 0)
+    return {
+        # Snapshots carrying an update — robust to include_initial=False.
+        "events": sum(1 for s in trace.snapshots if s.update is not None),
+        "tau_min": min(taus),
+        "tau_max": max(taus),
+        "memo_hits": stats.get("memo_hits", 0),
+        "solved_sources": solved,
+        "reused_sources": stats.get("reused_sources", 0),
+        "solved_fraction": solved / max(total_sources, 1),
+        "seconds": sum(s.seconds for s in trace.snapshots),
+    }
+
+
+def temporal_sweep(
+    base: Graph | DynamicGraph,
+    updates: list[GraphUpdate],
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    **tracker_kwargs,
+) -> tuple[list[dict], dict]:
+    """Run :func:`~repro.dynamic.tracker.track_local_mixing` over a trace
+    and return ``(rows, summary)`` ready for the table formatter."""
+    trace = track_local_mixing(base, updates, beta, eps, **tracker_kwargs)
+    return trace_rows(trace), summarize_trace(trace)

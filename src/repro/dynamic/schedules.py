@@ -1,0 +1,290 @@
+"""Update-schedule generators for dynamic-network experiments.
+
+Each generator simulates its own scratch :class:`~repro.dynamic.graph.DynamicGraph`
+copy while emitting events, so every returned
+:class:`~repro.dynamic.graph.GraphUpdate` is *valid in sequence* (no
+double-adds, no removals of absent edges) and — by default — keeps every
+intermediate snapshot connected, which is what the walk-based trackers
+require.  All randomness flows through
+:func:`repro.utils.seeding.as_rng`, so a fixed seed reproduces the trace.
+
+The four workloads mirror the dynamic-network literature:
+
+* :func:`edge_markovian_churn` — the edge-Markovian model: random pairs
+  flip between present and absent (birth with probability ``p_add``).
+* :func:`random_rewiring` — degree-preserving-at-``u`` rewires
+  ``(u,v) → (u,w)``, the canonical "evolving expander" update.
+* :func:`barbell_bridge_schedule` — the paper's Figure-1 graph under
+  structural surgery: shortcut bridges between cliques appear, hold while
+  intra-clique churn runs, then vanish.
+* :func:`node_churn` — nodes join (attaching uniformly) and leave
+  (swap-with-last relabelling, see
+  :meth:`~repro.dynamic.graph.DynamicGraph.remove_node`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.base import Graph
+from repro.utils.seeding import as_rng
+from repro.dynamic.graph import DynamicGraph, GraphUpdate
+
+__all__ = [
+    "edge_markovian_churn",
+    "random_rewiring",
+    "barbell_bridge_schedule",
+    "node_churn",
+]
+
+#: Resampling budget per event before a generator gives up.
+_MAX_TRIES = 400
+
+
+def _connected_without(
+    dyn: DynamicGraph, u: int, v: int, *, also_without: tuple | None = None
+) -> bool:
+    """Would the graph stay connected after deleting edge ``(u, v)``?
+    BFS from ``u`` toward ``v`` on the adjacency sets, skipping the edge
+    (and optionally a second edge ``also_without`` — used to guarantee a
+    held shortcut's later removal stays safe)."""
+    banned = {(u, v), (v, u)}
+    if also_without is not None:
+        a, b = also_without
+        banned |= {(a, b), (b, a)}
+    seen = {u}
+    stack = [u]
+    while stack:
+        x = stack.pop()
+        for y in dyn._adj[x]:
+            if (x, y) in banned:
+                continue
+            if y == v:
+                return True
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return False
+
+
+def _connected_without_node(dyn: DynamicGraph, u: int) -> bool:
+    """Would the graph stay connected (and non-empty) after removing ``u``?"""
+    if dyn.n <= 2:
+        return False
+    start = 0 if u != 0 else 1
+    seen = {start}
+    stack = [start]
+    while stack:
+        x = stack.pop()
+        for y in dyn._adj[x]:
+            if y != u and y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return len(seen) == dyn.n - 1
+
+
+def _give_up(name: str) -> GraphError:
+    return GraphError(
+        f"{name}: could not draw a valid update in {_MAX_TRIES} tries "
+        "(graph too constrained for this schedule)"
+    )
+
+
+def edge_markovian_churn(
+    base: Graph,
+    events: int,
+    *,
+    p_add: float = 0.5,
+    seed=None,
+    keep_connected: bool = True,
+) -> list[GraphUpdate]:
+    """Edge-Markovian churn: each event flips a random node pair — an absent
+    pair is born (chosen with probability ``p_add``), a present edge dies.
+
+    Removals that would disconnect the graph are resampled when
+    ``keep_connected`` (the default, since walk trackers need connected
+    snapshots); births are forced when the graph runs out of removable
+    edges, and deaths when it is complete.
+    """
+    if events < 0:
+        raise ValueError("events must be >= 0")
+    if not 0 <= p_add <= 1:
+        raise ValueError("p_add must be in [0, 1]")
+    rng = as_rng(seed)
+    dyn = DynamicGraph(base)
+    updates: list[GraphUpdate] = []
+    for _ in range(events):
+        for _ in range(_MAX_TRIES):
+            n = dyn.n
+            complete = dyn.m == n * (n - 1) // 2
+            add = (rng.random() < p_add or dyn.m == 0) and not complete
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u == v:
+                continue
+            if add and not dyn.has_edge(u, v):
+                dyn.add_edge(u, v)
+                updates.append(GraphUpdate("add", u=u, v=v))
+                break
+            if not add and dyn.has_edge(u, v):
+                if keep_connected and not _connected_without(dyn, u, v):
+                    continue
+                dyn.remove_edge(u, v)
+                updates.append(GraphUpdate("remove", u=u, v=v))
+                break
+        else:
+            raise _give_up("edge_markovian_churn")
+    return updates
+
+
+def random_rewiring(
+    base: Graph,
+    events: int,
+    *,
+    seed=None,
+    keep_connected: bool = True,
+) -> list[GraphUpdate]:
+    """Random rewiring: each event picks a random oriented edge ``(u, v)``
+    and a random non-neighbor ``w`` of ``u`` and rewires ``(u,v) → (u,w)``.
+    The total edge count is invariant and ``u``'s degree is preserved."""
+    if events < 0:
+        raise ValueError("events must be >= 0")
+    rng = as_rng(seed)
+    dyn = DynamicGraph(base)
+    if dyn.m == 0:
+        raise GraphError("random_rewiring needs at least one edge")
+    updates: list[GraphUpdate] = []
+    for _ in range(events):
+        for _ in range(_MAX_TRIES):
+            n = dyn.n
+            u = int(rng.integers(n))
+            if not dyn._adj[u]:
+                continue
+            nbrs = sorted(dyn._adj[u])
+            v = int(nbrs[rng.integers(len(nbrs))])
+            w = int(rng.integers(n))
+            if w == u or w == v or dyn.has_edge(u, w):
+                continue
+            # If the graph stays connected without (u, v), the rewire —
+            # which only adds (u, w) on top — cannot disconnect it.
+            if keep_connected and not _connected_without(dyn, u, v):
+                continue
+            dyn.rewire(u, v, w)
+            updates.append(GraphUpdate("rewire", u=u, v=v, w=w))
+            break
+        else:
+            raise _give_up("random_rewiring")
+    return updates
+
+
+def barbell_bridge_schedule(
+    beta: int,
+    clique_size: int,
+    *,
+    cycles: int = 3,
+    hold: int = 2,
+    seed=None,
+) -> tuple[Graph, list[GraphUpdate]]:
+    """Bridge surgery on the paper's Figure-1 β-barbell.
+
+    Returns ``(base, updates)`` where ``base`` is
+    :func:`~repro.graphs.generators.beta_barbell` and each cycle emits
+    ``2 + hold`` events: **insert** a shortcut bridge between two random
+    distinct cliques, run ``hold`` churn rewires while it is up (a random
+    clique edge is redirected to a random node elsewhere — within a
+    complete clique there is no absent pair to rewire onto), then
+    **remove** the shortcut.  The shortcut collapses the global mixing
+    bottleneck while it lives; local mixing stays ``O(1)`` throughout —
+    the dynamic version of the paper's §2.3(d) contrast.
+    """
+    from repro.graphs.generators import beta_barbell
+
+    if beta < 2:
+        raise GraphError("bridge schedule needs beta >= 2")
+    if cycles < 0 or hold < 0:
+        raise ValueError("cycles and hold must be >= 0")
+    rng = as_rng(seed)
+    base = beta_barbell(beta, clique_size)
+    dyn = DynamicGraph(base)
+    k = clique_size
+    updates: list[GraphUpdate] = []
+    for _ in range(cycles):
+        for _ in range(_MAX_TRIES):
+            bi, bj = rng.choice(beta, size=2, replace=False)
+            u = int(bi) * k + int(rng.integers(k))
+            v = int(bj) * k + int(rng.integers(k))
+            if not dyn.has_edge(u, v):
+                break
+        else:
+            raise _give_up("barbell_bridge_schedule")
+        dyn.add_edge(u, v)
+        updates.append(GraphUpdate("add", u=u, v=v))
+        for _ in range(hold):
+            for _ in range(_MAX_TRIES):
+                b = int(rng.integers(beta))
+                x = b * k + int(rng.integers(k))
+                y = b * k + int(rng.integers(k))
+                w = int(rng.integers(dyn.n))
+                if x == y or w in (x, y):
+                    continue
+                if {x, y} == {u, v}:
+                    continue  # keep the live shortcut removable
+                if not dyn.has_edge(x, y) or dyn.has_edge(x, w):
+                    continue
+                # Connectivity must survive without the live shortcut too,
+                # or the cycle-closing removal of (u, v) could disconnect.
+                if not _connected_without(dyn, x, y, also_without=(u, v)):
+                    continue
+                dyn.rewire(x, y, w)
+                updates.append(GraphUpdate("rewire", u=x, v=y, w=w))
+                break
+            else:
+                raise _give_up("barbell_bridge_schedule")
+        dyn.remove_edge(u, v)
+        updates.append(GraphUpdate("remove", u=u, v=v))
+    return base, updates
+
+
+def node_churn(
+    base: Graph,
+    events: int,
+    *,
+    attach: int = 2,
+    seed=None,
+    n_min: int | None = None,
+    p_join: float = 0.5,
+) -> list[GraphUpdate]:
+    """Node join/leave churn.
+
+    A join attaches a fresh node to ``attach`` distinct random nodes (so the
+    newcomer is immediately connected); a leave removes a random node whose
+    departure keeps the graph connected (resampled otherwise, and skipped in
+    favor of a join below ``n_min`` nodes, default: the base size minus
+    ``events``, floored at ``attach + 1``).
+    """
+    if events < 0:
+        raise ValueError("events must be >= 0")
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    rng = as_rng(seed)
+    dyn = DynamicGraph(base)
+    if n_min is None:
+        n_min = max(attach + 1, base.n - events)
+    updates: list[GraphUpdate] = []
+    for _ in range(events):
+        join = rng.random() < p_join or dyn.n <= n_min
+        if join:
+            nbrs = rng.choice(dyn.n, size=min(attach, dyn.n), replace=False)
+            nbrs = tuple(int(x) for x in np.sort(nbrs))
+            dyn.add_node(nbrs)
+            updates.append(GraphUpdate("join", neighbors=nbrs))
+            continue
+        for _ in range(_MAX_TRIES):
+            u = int(rng.integers(dyn.n))
+            if _connected_without_node(dyn, u):
+                dyn.remove_node(u)
+                updates.append(GraphUpdate("leave", u=u))
+                break
+        else:
+            raise _give_up("node_churn")
+    return updates

@@ -1,0 +1,410 @@
+"""Incremental tracking of the local-mixing τ-spectrum over a dynamic graph.
+
+:class:`MixingTracker` maintains, across a stream of topology snapshots, the
+full per-source vector ``(τ_s(β, ε))_{s ∈ V}`` — and its results are
+**identical** (same times, set sizes, bitwise-equal deviations, same
+bookkeeping counters) to running
+:func:`~repro.engine.batch.batched_local_mixing_times` from scratch on every
+snapshot.  Three exact accelerations make that affordable:
+
+1. **Structural memoization** — snapshots hash by their CSR arrays, so a
+   topology the tracker has already solved (an add/remove round trip, an
+   oscillating bridge) is answered from the memo without touching the walk
+   engine at all.
+
+2. **Locality pruning** — the paper's whole point is that local mixing is a
+   *local* quantity.  ``p_t(x)`` sums, over length-``t`` walks from ``s``,
+   products of ``1/d(w_i)`` at the walk's first ``t`` positions — nodes
+   within distance ``t-1`` of ``s`` — over edges the walk traverses; so if
+   every edited node sits at distance ``≥ τ_s`` from ``s`` in **both** the
+   old and the new snapshot, the trajectory prefix ``p_0 … p_{τ_s}`` is
+   bitwise unchanged (changed operator entries only ever multiply exact
+   zeros, and exact-zero terms never perturb a CSR accumulation), and the
+   previous result for ``s`` — every ``(t, R)`` decision the from-scratch
+   scan would make — is provably still correct.  Prior τ values thus bound
+   each source's replay radius; only sources inside it are re-solved.  (A
+   binary search warm-started at the prior τ would *not* be sound: the
+   restricted deviation is non-monotone in ``t`` — the paper's §3 remark —
+   so the first firing time must be re-scanned, not bisected.)
+
+3. **Fused re-scan prefilter** — the sources that do need re-solving go
+   through one search-free
+   :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
+   call per step (a valid lower bound for every candidate set size × every
+   live column, ``O(1)`` per pair) instead of the driver's per-``R`` window
+   searches; every flagged ``(t, R, source)`` is then decided by the exact
+   single-source arithmetic, so over-flagging costs a verification and
+   under-flagging is impossible.
+
+Whenever an update breaks the assumptions (node join/leave changed ``n``,
+no prior snapshot, ``method="from_scratch"``), the tracker falls back to a
+full exact recomputation — so the identity guarantee holds unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_EPS
+from repro.errors import ConvergenceError
+from repro.graphs.base import Graph
+from repro.graphs.properties import multi_source_distances
+from repro.engine.batch import _VERIFY_SLACK, batched_local_mixing_times
+from repro.engine.oracle import BatchedUniformDeviationOracle
+from repro.engine.propagator import BlockPropagator
+from repro.dynamic.graph import DynamicGraph, GraphUpdate
+
+__all__ = ["MixingTracker", "TrackedSnapshot", "TrackingTrace", "track_local_mixing"]
+
+#: Sentinel distance for nodes no edit can reach.
+_FAR = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class TrackedSnapshot:
+    """One observed snapshot: the graph, its full τ-spectrum, and how much
+    work the tracker actually did to produce it."""
+
+    index: int
+    graph: Graph
+    results: tuple
+    update: GraphUpdate | None = None
+    memo_hit: bool = False
+    reused_sources: int = 0
+    solved_sources: int = 0
+    seconds: float = 0.0
+
+    @property
+    def tau(self) -> int:
+        """``τ(β,ε) = max_s τ_s(β,ε)`` of this snapshot."""
+        return max(r.time for r in self.results)
+
+    @property
+    def times(self) -> list[int]:
+        """Per-source local mixing times, in node order."""
+        return [r.time for r in self.results]
+
+
+@dataclass
+class TrackingTrace:
+    """The output of :func:`track_local_mixing`: every observed snapshot in
+    order, plus the tracker (for its counters)."""
+
+    snapshots: list[TrackedSnapshot] = field(default_factory=list)
+    tracker: "MixingTracker | None" = None
+
+    @property
+    def tau_trace(self) -> list[int]:
+        """``τ(β,ε)`` per snapshot — the headline time series."""
+        return [s.tau for s in self.snapshots]
+
+    @property
+    def stats(self) -> dict:
+        return dict(self.tracker.stats) if self.tracker is not None else {}
+
+
+def _exact_best_sum(z: np.ndarray, pre: np.ndarray, R: int) -> float:
+    """``min_{|S|=R} Σ|p − 1/R|`` for one sorted column ``z`` with prefix
+    sums ``pre`` — a transcript of
+    :meth:`~repro.walks.local_mixing.UniformDeviationOracle.best_sum`
+    (the shared :func:`~repro.walks.local_mixing.window_deviation_sums`
+    formula plus the same ``argmin``), fed from the batched oracle's
+    column-sorted block instead of a fresh per-column ``argsort``/``cumsum``
+    (both produce bitwise-identical arrays, so the value is too)."""
+    from repro.walks.local_mixing import window_deviation_sums
+
+    starts = np.arange(z.size - R + 1)
+    sums = window_deviation_sums(z, pre, R, 1.0 / R, starts)
+    return float(sums[int(np.argmin(sums))])
+
+
+def _changed_nodes(a: Graph, b: Graph) -> np.ndarray:
+    """Nodes whose neighbor list differs between two same-``n`` graphs —
+    the endpoints of the edge-set symmetric difference, computed on packed
+    ``u·n + v`` keys (CSR order makes them sorted and unique)."""
+    n = a.n
+    keys_a = np.repeat(np.arange(n), np.diff(a.indptr)) * n + a.indices
+    keys_b = np.repeat(np.arange(n), np.diff(b.indptr)) * n + b.indices
+    diff = np.setxor1d(keys_a, keys_b, assume_unique=True)
+    return np.unique(diff // n)
+
+
+class MixingTracker:
+    """Maintain the per-source τ-spectrum of an evolving graph.
+
+    Parameters mirror :func:`~repro.engine.batch.batched_local_mixing_times`
+    (``beta``, ``eps``, ``sizes``, ``threshold_factor``, ``grid_factor``,
+    ``t_schedule``, ``t_max``, ``lazy``); the constrained knobs the batch
+    engine itself falls back to the per-source loop for
+    (``require_source=True``, the ``"degree"`` target) are not supported.
+
+    method:
+        ``"incremental"`` (default) applies the memo + locality pruning +
+        fused re-scan pipeline.  ``"from_scratch"`` recomputes every
+        snapshot with :func:`~repro.engine.batch.batched_local_mixing_times`
+        — the reference the incremental path is tested (and benchmarked)
+        against.
+    memo_size:
+        How many distinct solved structures to remember.
+    """
+
+    def __init__(
+        self,
+        beta: float,
+        eps: float = DEFAULT_EPS,
+        *,
+        sizes: str | list[int] = "all",
+        threshold_factor: float = 1.0,
+        grid_factor: float | None = None,
+        t_schedule: str = "all",
+        t_max: int | None = None,
+        lazy: bool = False,
+        method: str = "incremental",
+        memo_size: int = 32,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError("eps must be in (0,1)")
+        if beta < 1:
+            raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+        if method not in ("incremental", "from_scratch"):
+            raise ValueError(f"unknown method {method!r}")
+        if memo_size < 0:
+            raise ValueError("memo_size must be >= 0")
+        self.beta = beta
+        self.eps = eps
+        self.sizes = sizes
+        self.threshold_factor = threshold_factor
+        self.grid_factor = grid_factor
+        self.t_schedule = t_schedule
+        self.t_max = t_max
+        self.lazy = lazy
+        self.method = method
+        self.memo_size = memo_size
+        self._memo: OrderedDict[Graph, tuple] = OrderedDict()
+        self._prev_graph: Graph | None = None
+        self._prev_results: tuple | None = None
+        self._index = 0
+        self.stats: dict[str, int] = {
+            "snapshots": 0,
+            "memo_hits": 0,
+            "reused_sources": 0,
+            "solved_sources": 0,
+            "full_solves": 0,
+            "partial_solves": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Observation pipeline
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self, g: Graph, *, update: GraphUpdate | None = None
+    ) -> TrackedSnapshot:
+        """Ingest one snapshot and return its (exact) τ-spectrum."""
+        t0 = time.perf_counter()
+        memo_hit = False
+        reused = 0
+        solved = 0
+        # The from-scratch reference must actually recompute every snapshot
+        # (it is what the incremental path is benchmarked against), so only
+        # the incremental method consults the structural memo.
+        cached = self._memo.get(g) if self.method == "incremental" else None
+        if cached is not None:
+            self._memo.move_to_end(g)
+            results = cached
+            memo_hit = True
+            self.stats["memo_hits"] += 1
+        elif (
+            self.method == "from_scratch"
+            or self._prev_graph is None
+            or self._prev_graph.n != g.n
+        ):
+            results = tuple(self._solve_full(g))
+            solved = g.n
+            self.stats["full_solves"] += 1
+        else:
+            results, reused, solved = self._solve_incremental(g)
+        self._remember(g, results)
+        self.stats["snapshots"] += 1
+        self.stats["reused_sources"] += reused
+        self.stats["solved_sources"] += solved
+        snap = TrackedSnapshot(
+            index=self._index,
+            graph=g,
+            results=results,
+            update=update,
+            memo_hit=memo_hit,
+            reused_sources=reused,
+            solved_sources=solved,
+            seconds=time.perf_counter() - t0,
+        )
+        self._index += 1
+        return snap
+
+    def _remember(self, g: Graph, results: tuple) -> None:
+        self._prev_graph = g
+        self._prev_results = results
+        if self.memo_size > 0 and self.method == "incremental":
+            self._memo[g] = results
+            self._memo.move_to_end(g)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+
+    def _solve_full(self, g: Graph):
+        if self.method == "from_scratch":
+            return batched_local_mixing_times(
+                g,
+                self.beta,
+                self.eps,
+                sizes=self.sizes,
+                threshold_factor=self.threshold_factor,
+                grid_factor=self.grid_factor,
+                t_schedule=self.t_schedule,
+                t_max=self.t_max,
+                lazy=self.lazy,
+            )
+        return self._grid_scan(g, list(range(g.n)))
+
+    def _solve_incremental(self, g: Graph) -> tuple[tuple, int, int]:
+        prev_g = self._prev_graph
+        prev_res = self._prev_results
+        if prev_g == g:
+            # Structurally identical but evicted from the memo.
+            return prev_res, g.n, 0
+        touched = _changed_nodes(prev_g, g)
+        d_old = multi_source_distances(prev_g, touched)
+        d_new = multi_source_distances(g, touched)
+        dmin = np.minimum(
+            np.where(d_old < 0, _FAR, d_old), np.where(d_new < 0, _FAR, d_new)
+        )
+        # Source s is provably unaffected iff every edited node lies at
+        # distance >= τ_s in both snapshots: p_t only involves degrees and
+        # neighbor lists of nodes walks visit in their first t-1 steps —
+        # nodes within distance t-1 — so edits at distance >= t leave
+        # p_0 … p_t bitwise alone (see module docstring).
+        prev_times = np.asarray([r.time for r in prev_res], dtype=np.int64)
+        keep = prev_times <= dmin
+        redo = np.flatnonzero(~keep)
+        if redo.size == 0:
+            # Nothing to re-solve — still run the driver's walk
+            # preconditions so an invalid snapshot raises exactly as a
+            # from-scratch call would.
+            from repro.walks.local_mixing import _resolve_walk_bounds
+
+            _resolve_walk_bounds(g, self.lazy, self.t_max)
+        fresh = self._grid_scan(g, [int(s) for s in redo])
+        merged = list(prev_res)
+        for pos, res in zip(redo, fresh):
+            merged[int(pos)] = res
+        self.stats["partial_solves"] += 1
+        return tuple(merged), int(keep.sum()), int(redo.size)
+
+    # ------------------------------------------------------------------ #
+    # Fused exact re-scan
+    # ------------------------------------------------------------------ #
+
+    def _grid_scan(self, g: Graph, sources: list[int]):
+        """Exact first-firing scan for ``sources`` on snapshot ``g``.
+
+        Semantically a transcript of the batch driver's ``_solve_chunk`` —
+        same schedule, same threshold, same result fields (counters are
+        reconstructed from the shared scan position) — but the per-step
+        prefilter for *every* candidate size comes from one fused
+        :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
+        call, and every flagged ``(t, R, source)`` is decided by the exact
+        single-source oracle.  A lower bound can only over-flag, never
+        under-flag, so the decisions — and hence every result field — match
+        the driver pair for pair.
+        """
+        from repro.walks.local_mixing import (
+            LocalMixingResult,
+            _candidate_sizes,
+            _resolve_walk_bounds,
+            _t_iter,
+        )
+
+        if not sources:
+            return []
+        t_max = _resolve_walk_bounds(g, self.lazy, self.t_max)
+        grid_factor = self.eps if self.grid_factor is None else self.grid_factor
+        candidates = _candidate_sizes(g.n, self.beta, self.sizes, grid_factor)
+        threshold = self.eps * self.threshold_factor
+        cutoff = threshold * (1.0 + _VERIFY_SLACK)
+        Rs = np.asarray(candidates, dtype=np.int64)
+        inv_r = 1.0 / Rs
+        n_cand = len(candidates)
+        results: list = [None] * len(sources)
+        col_pos = np.arange(len(sources))
+        prop = BlockPropagator(g, sources, lazy=self.lazy)
+        for steps, t in enumerate(_t_iter(self.t_schedule, t_max), start=1):
+            if col_pos.size == 0:
+                break
+            P = prop.advance_to(t)
+            oracle = BatchedUniformDeviationOracle(P)
+            k0 = oracle.split_points(inv_r)
+            bounds = oracle.deviation_lower_bounds(Rs, k0=k0)
+            hits = bounds < cutoff
+            resolved: list[int] = []
+            for col in map(int, np.flatnonzero(hits.any(axis=0))):
+                z = oracle.sorted[:, col]
+                pre = oracle.prefix[:, col]
+                for r_idx in map(int, np.flatnonzero(hits[:, col])):
+                    s_exact = _exact_best_sum(z, pre, int(Rs[r_idx]))
+                    if s_exact < threshold:
+                        results[col_pos[col]] = LocalMixingResult(
+                            time=t,
+                            set_size=int(Rs[r_idx]),
+                            deviation=s_exact,
+                            threshold=threshold,
+                            steps_checked=steps,
+                            sizes_checked=(steps - 1) * n_cand + r_idx + 1,
+                        )
+                        resolved.append(col)
+                        break
+            if resolved:
+                keep = np.setdiff1d(np.arange(P.shape[1]), resolved)
+                col_pos = col_pos[keep]
+                prop.drop_columns(keep)
+        if col_pos.size:
+            missing = [sources[int(i)] for i in col_pos]
+            raise ConvergenceError(
+                f"no local mixing found up to t_max={t_max} for sources "
+                f"{missing[:8]}{'…' if len(missing) > 8 else ''} "
+                f"(beta={self.beta}, eps={self.eps}, threshold={threshold})",
+                last_length=t_max,
+            )
+        return results
+
+
+def track_local_mixing(
+    dyn: DynamicGraph | Graph,
+    updates: Sequence[GraphUpdate],
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    include_initial: bool = True,
+    **tracker_kwargs,
+) -> TrackingTrace:
+    """Drive a :class:`MixingTracker` over an update schedule.
+
+    Applies each :class:`~repro.dynamic.graph.GraphUpdate` to ``dyn`` (a
+    :class:`Graph` is wrapped into a fresh :class:`DynamicGraph` first),
+    observes every intermediate snapshot, and returns the full
+    :class:`TrackingTrace` — the τ time series plus work counters.  Extra
+    keyword arguments go to the :class:`MixingTracker` constructor.
+    """
+    if isinstance(dyn, Graph):
+        dyn = DynamicGraph(dyn)
+    tracker = MixingTracker(beta, eps, **tracker_kwargs)
+    trace = TrackingTrace(tracker=tracker)
+    if include_initial:
+        trace.snapshots.append(tracker.observe(dyn.snapshot()))
+    for upd in updates:
+        dyn.apply(upd)
+        trace.snapshots.append(tracker.observe(dyn.snapshot(), update=upd))
+    return trace

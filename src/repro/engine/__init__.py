@@ -20,24 +20,45 @@ batching idea of Das Sarma et al. and Molla–Pandurangan:
   the multi-source call sites (``graph_local_mixing_time``, sweeps, report)
   run on; their outputs are **identical** to the per-source loop (hits are
   re-verified with the exact single-source oracle before a source stops).
+  :func:`~repro.engine.batch.batched_mixing_times` (global Definition-1
+  times behind ``graph_mixing_time``) and
+  :func:`~repro.engine.batch.batched_local_mixing_profiles` (deviation
+  profiles behind ``local_mixing_profile``) follow the same contract.
+
+The shared spectral cache is controllable — dynamic-network workloads
+(:mod:`repro.dynamic`) stream many snapshots through the engine, and each
+cached entry pins a dense ``n × n`` eigenbasis:
+:func:`~repro.engine.propagator.clear_propagator_cache`,
+:func:`~repro.engine.propagator.set_propagator_cache_maxsize` and
+:func:`~repro.engine.propagator.propagator_cache_info` bound and inspect it.
 """
 
 from repro.engine.propagator import (
     BlockPropagator,
     block_distribution_at,
+    clear_propagator_cache,
+    propagator_cache_info,
+    set_propagator_cache_maxsize,
     shared_spectral_propagator,
 )
 from repro.engine.oracle import BatchedUniformDeviationOracle
 from repro.engine.batch import (
+    batched_local_mixing_profiles,
     batched_local_mixing_times,
     batched_local_mixing_spectra,
+    batched_mixing_times,
 )
 
 __all__ = [
     "BlockPropagator",
     "block_distribution_at",
     "shared_spectral_propagator",
+    "clear_propagator_cache",
+    "set_propagator_cache_maxsize",
+    "propagator_cache_info",
     "BatchedUniformDeviationOracle",
     "batched_local_mixing_times",
     "batched_local_mixing_spectra",
+    "batched_local_mixing_profiles",
+    "batched_mixing_times",
 ]

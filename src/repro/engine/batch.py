@@ -36,7 +36,12 @@ from repro.graphs.base import Graph
 from repro.engine.oracle import BatchedUniformDeviationOracle
 from repro.engine.propagator import BlockPropagator, block_distribution_at
 
-__all__ = ["batched_local_mixing_times", "batched_local_mixing_spectra"]
+__all__ = [
+    "batched_local_mixing_times",
+    "batched_local_mixing_spectra",
+    "batched_local_mixing_profiles",
+    "batched_mixing_times",
+]
 
 #: Relative slack above the stopping threshold under which a fast bound is
 #: re-verified with the exact oracle (covers floating-point tie noise).
@@ -217,6 +222,185 @@ def _solve_chunk(
             col_pos = col_pos[keep]
             if prop is not None:
                 prop.drop_columns(keep)
+
+
+def batched_local_mixing_profiles(
+    g: Graph,
+    beta: float,
+    *,
+    sources: Sequence[int] | None = None,
+    sizes: str | list[int] = "all",
+    grid_factor: float = DEFAULT_EPS,
+    t_max: int = 100,
+    lazy: bool = False,
+) -> np.ndarray:
+    """The best achievable deviation ``min_R min_S Σ|p_t − 1/R|`` for every
+    source at every ``t = 0..t_max``, as a ``(k, t_max + 1)`` array.
+
+    One block trajectory replaces ``k`` independent
+    :func:`~repro.walks.local_mixing.local_mixing_profile` runs; each row is
+    bitwise identical to the per-source function: the block columns are
+    bitwise equal to the single-source trajectory, the batched oracle's
+    column-sorted block and prefix sums are bitwise equal to each
+    per-column ``argsort``/``cumsum``, and every minimum is the exact
+    single-source scan (the shared
+    :func:`~repro.walks.local_mixing.window_deviation_sums` formula plus
+    ``argmin`` — profile *values* feed plots and fits, so no
+    threshold-verification shortcut applies).
+    """
+    from repro.engine.oracle import BatchedUniformDeviationOracle
+    from repro.walks.local_mixing import (
+        _candidate_sizes,
+        window_deviation_sums,
+    )
+
+    src = _normalize_sources(g, sources)
+    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    starts = {R: np.arange(g.n - R + 1) for R in candidates}
+    out = np.empty((len(src), t_max + 1), dtype=np.float64)
+    prop = BlockPropagator(g, src, lazy=lazy)
+    for t in range(t_max + 1):
+        P = prop.advance_to(t)
+        oracle = BatchedUniformDeviationOracle(P)
+        for j in range(len(src)):
+            z = oracle.sorted[:, j]
+            pre = oracle.prefix[:, j]
+            best = math.inf
+            for R in candidates:
+                sums = window_deviation_sums(z, pre, R, 1.0 / R, starts[R])
+                best = min(best, float(sums[int(np.argmin(sums))]))
+            out[j, t] = best
+    return out
+
+
+def batched_mixing_times(
+    g: Graph,
+    eps: float,
+    *,
+    sources: Sequence[int] | None = None,
+    lazy: bool = False,
+    method: str = "auto",
+    t_max: int | None = None,
+) -> list[int]:
+    """Exact global mixing time ``τ_s^mix(ε)`` (Definition 1) for every
+    source at once, identical to per-source
+    :func:`~repro.walks.mixing.mixing_time` calls.
+
+    ``method="iterative"`` scans one block trajectory (bitwise identical to
+    the per-source scan).  ``"spectral"`` runs the per-source doubling +
+    binary search (valid by Lemma 1 monotonicity) with all columns advanced
+    in lockstep through the shared eigendecomposition; block evaluations can
+    drift from :meth:`~repro.walks.distribution.SpectralPropagator.from_source`
+    by BLAS-accumulation ulps, so any column whose distance lands within
+    ``1e-9`` (relative) of ``eps`` is re-evaluated with the exact per-source
+    arithmetic before the comparison — decisions therefore never differ from
+    the per-source loop.  ``"auto"`` picks spectral for ``n ≤ 3000`` like
+    :func:`~repro.walks.mixing.mixing_time`.
+    """
+    from repro.constants import MAX_WALK_LENGTH_FACTOR
+    from repro.spectral.stationary import stationary_distribution
+    from repro.walks.mixing import _check_walk_defined
+
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    _check_walk_defined(g, lazy)
+    src = _normalize_sources(g, sources)
+    if t_max is None:
+        t_max = MAX_WALK_LENGTH_FACTOR * g.n**3
+    if method == "auto":
+        method = "spectral" if g.n <= 3000 else "iterative"
+    if method not in ("iterative", "spectral"):
+        raise ValueError(f"unknown method {method!r}")
+    pi = stationary_distribution(g)
+
+    if method == "iterative":
+        return _iterative_mixing_times(g, src, eps, pi, lazy, t_max)
+    return _spectral_mixing_times(g, src, eps, pi, lazy, t_max)
+
+
+def _verified_below(P: np.ndarray, pi: np.ndarray, eps: float) -> np.ndarray:
+    """Per column of ``P``: is ``‖p − π‖₁ < eps``, deciding near-threshold
+    columns with the exact contiguous per-source summation order."""
+    dists = np.abs(P - pi[:, None]).sum(axis=0)
+    below = dists < eps
+    near = np.abs(dists - eps) <= eps * _VERIFY_SLACK
+    for c in np.flatnonzero(near):
+        below[c] = float(np.abs(P[:, int(c)] - pi).sum()) < eps
+    return below
+
+
+def _iterative_mixing_times(g, src, eps, pi, lazy, t_max):
+    times: list[int | None] = [None] * len(src)
+    prop = BlockPropagator(g, src, lazy=lazy)
+    col_pos = np.arange(len(src))
+    for t in range(t_max + 1):
+        P = prop.advance_to(t)
+        below = _verified_below(P, pi, eps)
+        for c in np.flatnonzero(below):
+            times[col_pos[c]] = t
+        keep = np.flatnonzero(~below)
+        if keep.size == 0:
+            break
+        if keep.size < col_pos.size:
+            col_pos = col_pos[keep]
+            prop.drop_columns(keep)
+    if any(t is None for t in times):
+        raise ConvergenceError(
+            f"no t <= {t_max} reached eps={eps}", last_length=t_max
+        )
+    return times  # type: ignore[return-value]
+
+
+def _spectral_mixing_times(g, src, eps, pi, lazy, t_max):
+    from repro.engine.propagator import shared_spectral_propagator
+
+    prop = shared_spectral_propagator(g, lazy)
+    src_arr = np.asarray(src, dtype=np.int64)
+    times = np.full(len(src), -1, dtype=np.int64)
+
+    def exact_below(j: int, t: int) -> bool:
+        p = prop.from_source(int(src_arr[j]), int(t))
+        return float(np.abs(p - pi).sum()) < eps
+
+    def below_at(js: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        P = prop.from_sources_at(src_arr[js], ts)
+        dists = np.abs(P - pi[:, None]).sum(axis=0)
+        below = dists < eps
+        near = np.abs(dists - eps) <= eps * _VERIFY_SLACK
+        for c in np.flatnonzero(near):
+            below[c] = exact_below(int(js[c]), int(ts[c]))
+        return below
+
+    live = np.arange(len(src))
+    zero = below_at(live, np.zeros(live.size, dtype=np.int64))
+    times[live[zero]] = 0
+    live = live[~zero]
+    # Doubling phase: per column, the first power of two with dist < eps.
+    hi_of = np.zeros(len(src), dtype=np.int64)
+    hi = 1
+    while live.size:
+        found = below_at(live, np.full(live.size, hi, dtype=np.int64))
+        hi_of[live[found]] = hi
+        live = live[~found]
+        hi *= 2
+        if live.size and hi > t_max:
+            raise ConvergenceError(
+                f"no t <= {t_max} reached eps={eps}", last_length=hi // 2
+            )
+    # Binary search per column (vectorized across columns, each at its own
+    # bracket) — valid because the distance is non-increasing (Lemma 1).
+    active = np.flatnonzero((times < 0))
+    lo_of = hi_of // 2
+    while True:
+        open_cols = active[hi_of[active] - lo_of[active] > 1]
+        if open_cols.size == 0:
+            break
+        mid = (lo_of[open_cols] + hi_of[open_cols]) // 2
+        found = below_at(open_cols, mid)
+        hi_of[open_cols[found]] = mid[found]
+        lo_of[open_cols[~found]] = mid[~found]
+    times[active] = hi_of[active]
+    return [int(t) for t in times]
 
 
 def batched_local_mixing_spectra(

@@ -108,3 +108,108 @@ class BatchedUniformDeviationOracle:
         below = c * (kk - start) - (gather - p_lo)
         above = (p_hi - gather) - c * (R - (kk - start))
         return below + above, start
+
+    def best_sums_grid(
+        self, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`best_sums` for a whole grid of set sizes at once.
+
+        Returns ``(sums, starts)`` of shape ``(len(Rs), k)``: entry ``[i, j]``
+        is the best deviation (and a start achieving it) of column ``j`` at
+        set size ``Rs[i]``.  Every element goes through exactly the same
+        binary-search trajectory and window-sum arithmetic as the per-``R``
+        :meth:`best_sums` call, so the values are bitwise identical — the
+        difference is purely mechanical: one vectorized search over the
+        ``(R, column)`` grid instead of ``len(Rs)`` Python-level calls, which
+        is what makes per-snapshot rescans affordable for the dynamic-network
+        tracker (:mod:`repro.dynamic`).
+        """
+        Rs = np.asarray(Rs, dtype=np.int64)
+        if Rs.ndim != 1 or Rs.size == 0:
+            raise ValueError("Rs must be a non-empty 1-D array of set sizes")
+        n, k = self.n, self.k
+        if Rs.min() < 1 or Rs.max() > n:
+            raise ValueError(f"set sizes out of range [1, {n}]")
+        cs = 1.0 / Rs
+        if k0 is None:
+            k0 = self.split_points(cs)
+        k0 = np.asarray(k0, dtype=np.int64)
+        if k0.shape != (Rs.size, k):
+            raise ValueError("k0 must have shape (len(Rs), k)")
+        S, pre, cols = self.sorted, self.prefix, self._cols[None, :]
+        R_col = Rs[:, None]
+        c_col = cs[:, None]
+        lo = np.zeros((Rs.size, k), dtype=np.int64)
+        hi = np.broadcast_to(n - R_col, lo.shape).copy()  # W - 1 per row
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = np.where(active, (lo + hi) >> 1, 0)
+            s_lo = S[mid, cols]
+            # Active positions satisfy mid + R <= n - 1; inactive ones are
+            # don't-cares whose gather index merely needs to stay in bounds.
+            s_hi = S[np.minimum(mid + R_col, n - 1), cols]
+            pred = (mid >= k0) | (
+                (mid + R_col >= k0) & (s_lo + s_hi >= 2.0 * c_col)
+            )
+            hi = np.where(active & pred, mid, hi)
+            lo = np.where(active & ~pred, mid + 1, lo)
+        start = lo
+        kk = np.clip(k0, start, start + R_col)
+        gather = pre[kk, cols]
+        p_lo = pre[start, cols]
+        p_hi = pre[start + R_col, cols]
+        below = c_col * (kk - start) - (gather - p_lo)
+        above = (p_hi - gather) - c_col * (R_col - (kk - start))
+        return below + above, start
+
+    def deviation_lower_bounds(
+        self, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Search-free lower bounds on :meth:`best_sums_grid`'s minima:
+        a ``(len(Rs), k)`` array with entry ``[i, j] ≤ min_start
+        Σ_{u∈window} |p_j(u) − 1/Rs[i]|``, in ``O(1)`` per pair straight
+        from the prefix sums.
+
+        Three bounds are combined, each valid for *every* window of the
+        sorted column: (a) ``Σ|p − c| ≥ |mass(S) − cR|``, and window masses
+        range between the lightest (leftmost) and heaviest (rightmost)
+        windows; (b) the below-``c`` part ``Σ (c − p)⁺`` is a window sum of
+        a non-increasing sequence, so the rightmost window minimizes it;
+        (c) symmetrically, the leftmost window minimizes the above-``c``
+        part.  Deviations from the exact minima are pure summation roundoff
+        (``≪`` the engine's verification slack), so a "bound < cutoff →
+        verify exactly" prefilter — the dynamic tracker's re-scan
+        (:mod:`repro.dynamic.tracker`) — can never miss a firing ``(t, R)``
+        pair: it trades a handful of extra exact verifications for skipping
+        the per-pair window search entirely.
+        """
+        Rs = np.asarray(Rs, dtype=np.int64)
+        if Rs.ndim != 1 or Rs.size == 0:
+            raise ValueError("Rs must be a non-empty 1-D array of set sizes")
+        n, k = self.n, self.k
+        if Rs.min() < 1 or Rs.max() > n:
+            raise ValueError(f"set sizes out of range [1, {n}]")
+        cs = 1.0 / Rs
+        if k0 is None:
+            k0 = self.split_points(cs)
+        k0 = np.asarray(k0, dtype=np.int64)
+        if k0.shape != (Rs.size, k):
+            raise ValueError("k0 must have shape (len(Rs), k)")
+        pre, cols = self.prefix, self._cols[None, :]
+        R_col = Rs[:, None]
+        c_col = cs[:, None]
+        target = c_col * R_col  # cR (≈ 1, kept in float for safety)
+        top = pre[n][None, :] - pre[n - R_col, cols]  # heaviest window mass
+        bot = pre[R_col, cols]  # lightest window mass
+        # (a) |mass − cR| over the feasible mass range.
+        b_mass = np.maximum(target - top, bot - target)
+        # (b) below-c part of the rightmost window.
+        m2 = np.clip(k0 - (n - R_col), 0, R_col)
+        b_below = c_col * m2 - (pre[(n - R_col) + m2, cols] - pre[n - R_col, cols])
+        # (c) above-c part of the leftmost window.
+        a3 = np.minimum(k0, R_col)
+        b_above = (bot - pre[a3, cols]) - c_col * (R_col - a3)
+        out = np.maximum(b_mass, np.maximum(b_below, b_above))
+        return np.maximum(out, 0.0)

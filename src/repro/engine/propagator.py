@@ -21,8 +21,8 @@ operator and reused by every caller.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Iterator, Sequence
+from collections import OrderedDict
+from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -34,19 +34,88 @@ __all__ = [
     "BlockPropagator",
     "block_distribution_at",
     "shared_spectral_propagator",
+    "clear_propagator_cache",
+    "set_propagator_cache_maxsize",
+    "propagator_cache_info",
 ]
 
+#: Default bound on cached eigendecompositions; each entry holds a dense
+#: ``n × n`` eigenbasis, so the cache is deliberately small.
+_DEFAULT_CACHE_MAXSIZE = 8
 
-@lru_cache(maxsize=8)
+_cache: OrderedDict[tuple[Graph, bool], SpectralPropagator] = OrderedDict()
+_cache_maxsize = _DEFAULT_CACHE_MAXSIZE
+_cache_hits = 0
+_cache_misses = 0
+
+
+class PropagatorCacheInfo(NamedTuple):
+    """Statistics of the shared spectral-propagator cache (mirrors
+    ``functools.lru_cache``'s ``cache_info`` tuple)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
 def shared_spectral_propagator(g: Graph, lazy: bool = False) -> SpectralPropagator:
-    """A process-wide cache of spectral propagators keyed by ``(graph, lazy)``.
+    """A process-wide LRU cache of spectral propagators keyed by
+    ``(graph, lazy)``.
 
     :class:`~repro.graphs.base.Graph` is immutable and hashes by its CSR
-    arrays, so two structurally equal graphs share one eigendecomposition.
-    The cache is intentionally small (8 operators): each entry stores a dense
-    ``n × n`` eigenbasis.
+    arrays, so two structurally equal graphs share one eigendecomposition —
+    in particular, a :class:`~repro.dynamic.DynamicGraph` snapshot that
+    returns to a previously seen structure hits the cache.  Each entry stores
+    a dense ``n × n`` eigenbasis, so dynamic workloads that stream many
+    distinct snapshots should bound the held memory with
+    :func:`set_propagator_cache_maxsize` or drop it with
+    :func:`clear_propagator_cache`.
     """
-    return SpectralPropagator(g, lazy=lazy)
+    global _cache_hits, _cache_misses
+    key = (g, lazy)
+    prop = _cache.get(key)
+    if prop is not None:
+        _cache_hits += 1
+        _cache.move_to_end(key)
+        return prop
+    _cache_misses += 1
+    prop = SpectralPropagator(g, lazy=lazy)
+    _cache[key] = prop
+    while len(_cache) > _cache_maxsize:
+        _cache.popitem(last=False)
+    return prop
+
+
+def clear_propagator_cache() -> None:
+    """Drop every cached eigendecomposition (and reset the hit counters).
+
+    Dynamic-network workloads stream many structurally distinct snapshots
+    through the engine; this releases the dense eigenbases they pinned."""
+    global _cache_hits, _cache_misses
+    _cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def set_propagator_cache_maxsize(maxsize: int) -> None:
+    """Re-bound the shared propagator cache (evicting LRU entries to fit).
+
+    ``maxsize=0`` disables caching entirely — every call pays the ``O(n³)``
+    eigendecomposition, but no dense basis is retained."""
+    global _cache_maxsize
+    if maxsize < 0:
+        raise ValueError("maxsize must be >= 0")
+    _cache_maxsize = int(maxsize)
+    while len(_cache) > _cache_maxsize:
+        _cache.popitem(last=False)
+
+
+def propagator_cache_info() -> PropagatorCacheInfo:
+    """Current ``(hits, misses, maxsize, currsize)`` of the shared cache."""
+    return PropagatorCacheInfo(
+        _cache_hits, _cache_misses, _cache_maxsize, len(_cache)
+    )
 
 
 def _one_hot_block(n: int, sources: np.ndarray) -> np.ndarray:

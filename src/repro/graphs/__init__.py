@@ -24,6 +24,7 @@ from repro.graphs.properties import (
     diameter,
     eccentricity,
     estimate_diameter_two_sweep,
+    multi_source_distances,
     shortest_path_lengths_from,
 )
 from repro.graphs.families import GraphFamily, FAMILIES, get_family
@@ -50,6 +51,7 @@ __all__ = [
     "diameter",
     "eccentricity",
     "estimate_diameter_two_sweep",
+    "multi_source_distances",
     "shortest_path_lengths_from",
     "render_beta_barbell",
     "verify_beta_barbell",

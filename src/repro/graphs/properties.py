@@ -14,6 +14,7 @@ from repro.graphs.base import Graph
 
 __all__ = [
     "shortest_path_lengths_from",
+    "multi_source_distances",
     "bfs_layers",
     "eccentricity",
     "diameter",
@@ -27,17 +28,29 @@ def shortest_path_lengths_from(g: Graph, source: int) -> np.ndarray:
     unreachable).  Vectorized frontier BFS: ``O(n + m)``."""
     if not 0 <= source < g.n:
         raise ValueError(f"source {source} out of range")
+    return multi_source_distances(g, [source])
+
+
+def multi_source_distances(g: Graph, seeds) -> np.ndarray:
+    """Unweighted distance from every node to the *nearest* seed (``-1`` if
+    no seed is reachable) by vectorized frontier BFS, ``O(n + m)`` — the
+    locality radius the dynamic-network tracker prunes with
+    (:mod:`repro.dynamic.tracker`)."""
+    seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seeds.size == 0:
+        return np.full(g.n, -1, dtype=np.int64)
+    if seeds[0] < 0 or seeds[-1] >= g.n:
+        raise ValueError("seed out of range")
     dist = np.full(g.n, -1, dtype=np.int64)
-    dist[source] = 0
-    frontier = np.array([source], dtype=np.int64)
+    dist[seeds] = 0
+    frontier = seeds
     level = 0
     indptr, indices = g.indptr, g.indices
     while frontier.size:
         level += 1
         # Gather all neighbors of the frontier in one shot.
         starts, ends = indptr[frontier], indptr[frontier + 1]
-        total = int(np.sum(ends - starts))
-        if total == 0:
+        if int(np.sum(ends - starts)) == 0:
             break
         nbr = np.concatenate([indices[s:e] for s, e in zip(starts, ends)])
         nbr = nbr[dist[nbr] == -1]

@@ -141,3 +141,27 @@ class SpectralPropagator:
             raise ValueError("t must be non-negative")
         coeff = self._eigvecs[source, :] / self._sqrt_deg[source]
         return self._sqrt_deg * (self._eigvecs @ (self._lambda_power(t) * coeff))
+
+    def from_sources_at(
+        self, sources: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
+        """``p_{ts[j]}`` for the one-hot start at ``sources[j]`` as an
+        ``(n, k)`` block — each column evaluated at its *own* walk length.
+
+        This is the workhorse of batched binary searches over ``t`` (global
+        mixing times), where every column carries a different bracket.  The
+        per-column arithmetic matches :meth:`from_source` up to BLAS
+        accumulation order; callers that need decisions identical to the
+        per-source path must re-verify near-threshold columns with
+        :meth:`from_source` (see :func:`repro.engine.batch.batched_mixing_times`).
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        ts = np.asarray(ts, dtype=np.int64)
+        if src.ndim != 1 or ts.shape != src.shape:
+            raise ValueError("sources and ts must be 1-D of the same length")
+        if np.any(ts < 0):
+            raise ValueError("t must be non-negative")
+        # (n, k): coefficient vectors of each one-hot start, as in from_source.
+        coeff = (self._eigvecs[src, :] / self._sqrt_deg[src, None]).T
+        lam = np.power(self._eigvals[:, None], ts[None, :])
+        return self._sqrt_deg[:, None] * (self._eigvecs @ (lam * coeff))

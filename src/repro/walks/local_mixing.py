@@ -41,6 +41,7 @@ from repro.walks.distribution import distribution_trajectory
 __all__ = [
     "UniformDeviationOracle",
     "best_uniform_deviation",
+    "window_deviation_sums",
     "size_grid",
     "LocalMixingResult",
     "local_mixing_time",
@@ -48,6 +49,25 @@ __all__ = [
     "local_mixing_profile",
     "find_witness_set",
 ]
+
+
+def window_deviation_sums(
+    sorted_p: np.ndarray, prefix: np.ndarray, length: int, c: float,
+    starts: np.ndarray,
+) -> np.ndarray:
+    """``Σ_{j∈[i, i+length)} |sorted_p[j] − c|`` for each start ``i``, given
+    the ascending-sorted distribution and its zero-led prefix sums.
+
+    This is the one home of the split-point window formula — shared by
+    :class:`UniformDeviationOracle` and the dynamic tracker's transcript
+    verifier (:mod:`repro.dynamic.tracker`), whose exactness contract
+    depends on both evaluating it with identical arithmetic.
+    """
+    k0 = int(np.searchsorted(sorted_p, c))
+    k = np.clip(k0, starts, starts + length)
+    below = c * (k - starts) - (prefix[k] - prefix[starts])
+    above = (prefix[starts + length] - prefix[k]) - c * (length - (k - starts))
+    return below + above
 
 
 class UniformDeviationOracle:
@@ -79,12 +99,7 @@ class UniformDeviationOracle:
         self, length: int, c: float, starts: np.ndarray
     ) -> np.ndarray:
         """``Σ_{j∈[i, i+length)} |sorted[j] − c|`` for each start ``i``."""
-        k0 = int(np.searchsorted(self.sorted, c))
-        k = np.clip(k0, starts, starts + length)
-        P = self.prefix
-        below = c * (k - starts) - (P[k] - P[starts])
-        above = (P[starts + length] - P[k]) - c * (length - (k - starts))
-        return below + above
+        return window_deviation_sums(self.sorted, self.prefix, length, c, starts)
 
     def _best_constrained(self, R: int) -> tuple[float, str, int]:
         """Best sum over sets of size ``R`` that contain the source.
@@ -424,7 +439,26 @@ def local_mixing_profile(
 ) -> np.ndarray:
     """The best achievable deviation ``min_R min_S Σ|p_t − 1/R|`` for each
     ``t = 0..t_max`` — used to demonstrate the *non-monotonicity* of the
-    restricted deviation (paper §3 remark before Lemma 4)."""
+    restricted deviation (paper §3 remark before Lemma 4).
+
+    Runs on the batched engine
+    (:func:`repro.engine.batched_local_mixing_profiles` with a single
+    column, bitwise identical to the trajectory loop); the engine does not
+    cover the source-containment constraint, so ``require_source=True``
+    keeps the per-source path.
+    """
+    if not require_source:
+        from repro.engine import batched_local_mixing_profiles
+
+        return batched_local_mixing_profiles(
+            g,
+            beta,
+            sources=[source],
+            sizes=sizes,
+            grid_factor=grid_factor,
+            t_max=t_max,
+            lazy=lazy,
+        )[0]
     candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
     out = np.empty(t_max + 1, dtype=np.float64)
     for t, p in distribution_trajectory(g, source, lazy=lazy, t_max=t_max):

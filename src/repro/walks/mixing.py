@@ -110,15 +110,33 @@ def graph_mixing_time(
     sources=None,
     method: str = "auto",
     t_max: int | None = None,
+    engine: str = "batch",
 ) -> int:
     """``τ_mix(ε) = max_v τ_v^mix(ε)``, optionally over a subset of sources.
 
     For vertex-transitive families a single source suffices; the experiment
     harness passes an explicit sample elsewhere.
+
+    By default all sources are solved together on the batched multi-source
+    engine (:func:`repro.engine.batched_mixing_times`): one block trajectory
+    (iterative) or one shared eigendecomposition with lockstep doubling +
+    binary search (spectral), with per-source outputs identical to the loop.
+    ``engine="loop"`` forces the original per-source loop (the reference the
+    batch path is validated against).
     """
+    if engine not in ("batch", "loop"):
+        raise ValueError(f"unknown engine {engine!r}")
     _check_walk_defined(g, lazy)
     if sources is None:
         sources = range(g.n)
+    if engine == "batch":
+        from repro.engine import batched_mixing_times
+
+        return max(
+            batched_mixing_times(
+                g, eps, sources=sources, lazy=lazy, method=method, t_max=t_max
+            )
+        )
     prop = (
         SpectralPropagator(g, lazy=lazy)
         if (method in ("auto", "spectral") and g.n <= 3000)

@@ -1,0 +1,227 @@
+"""Tests for the mutable DynamicGraph overlay (repro.dynamic.graph).
+
+The load-bearing properties: every mutation sequence yields a snapshot()
+equal to a from-scratch Graph built from the same edge set (asserted with a
+hypothesis-driven arbitrary interleaving of add/remove/rewire/join/leave),
+and snapshots are structurally memoized — unchanged or revisited topologies
+return the *same* immutable object, so downstream per-graph caches hit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic import DynamicGraph, GraphUpdate
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.base import Graph
+
+
+class TestBasics:
+    def test_from_graph_copies_topology(self):
+        g = gen.beta_barbell(3, 5)
+        dyn = DynamicGraph(g)
+        assert (dyn.n, dyn.m) == (g.n, g.m)
+        assert dyn.snapshot() is g  # seeded into the structure memo
+        assert sorted(dyn.edges()) == sorted(g.edges())
+
+    def test_from_int_starts_empty(self):
+        dyn = DynamicGraph(5)
+        assert (dyn.n, dyn.m) == (5, 0)
+        assert list(dyn.edges()) == []
+
+    def test_bad_construction(self):
+        with pytest.raises(GraphError):
+            DynamicGraph(0)
+
+    def test_accessors(self):
+        dyn = DynamicGraph(gen.cycle_graph(5))
+        assert dyn.degree(0) == 2
+        assert dyn.has_edge(0, 1) and not dyn.has_edge(0, 2)
+        assert dyn.neighbors(0).tolist() == [1, 4]
+        assert len(dyn) == 5
+
+    def test_add_remove_rewire_roundtrip(self):
+        dyn = DynamicGraph(gen.cycle_graph(6))
+        dyn.add_edge(0, 3)
+        assert dyn.has_edge(3, 0) and dyn.m == 7
+        dyn.rewire(0, 3, 2)
+        assert not dyn.has_edge(0, 3) and dyn.has_edge(0, 2) and dyn.m == 7
+        dyn.remove_edge(0, 2)
+        assert dyn.m == 6
+
+    def test_invalid_mutations(self):
+        dyn = DynamicGraph(gen.cycle_graph(6))
+        with pytest.raises(GraphError):
+            dyn.add_edge(0, 0)  # self-loop
+        with pytest.raises(GraphError):
+            dyn.add_edge(0, 1)  # already present
+        with pytest.raises(GraphError):
+            dyn.remove_edge(0, 3)  # absent
+        with pytest.raises(GraphError):
+            dyn.add_edge(0, 6)  # out of range
+        with pytest.raises(GraphError):
+            dyn.rewire(0, 3, 2)  # (0,3) absent
+        with pytest.raises(GraphError):
+            dyn.rewire(0, 1, 1)  # rewire target == removed endpoint
+        with pytest.raises(GraphError):
+            dyn.rewire(0, 1, 0)  # self-loop
+        with pytest.raises(GraphError):
+            dyn.rewire(0, 1, 5)  # (0,5) already present
+        # failed rewire left the graph untouched
+        assert sorted(dyn.edges()) == sorted(gen.cycle_graph(6).edges())
+
+    def test_version_bumps_only_on_mutation(self):
+        dyn = DynamicGraph(gen.cycle_graph(5))
+        v = dyn.version
+        dyn.snapshot()
+        assert dyn.version == v
+        dyn.add_edge(0, 2)
+        assert dyn.version == v + 1
+
+
+class TestNodeChurn:
+    def test_add_node(self):
+        dyn = DynamicGraph(gen.cycle_graph(4))
+        new = dyn.add_node([0, 2])
+        assert new == 4 and dyn.n == 5 and dyn.m == 6
+        assert dyn.has_edge(4, 0) and dyn.has_edge(4, 2)
+
+    def test_add_isolated_node(self):
+        dyn = DynamicGraph(gen.cycle_graph(4))
+        assert dyn.add_node() == 4
+        assert dyn.degree(4) == 0
+
+    def test_add_node_validates_neighbors(self):
+        dyn = DynamicGraph(gen.cycle_graph(4))
+        with pytest.raises(GraphError):
+            dyn.add_node([7])
+
+    def test_remove_last_node(self):
+        dyn = DynamicGraph(gen.path_graph(4))
+        assert dyn.remove_node(3) is None
+        assert dyn.n == 3 and dyn.m == 2
+
+    def test_remove_relabels_last_into_slot(self):
+        dyn = DynamicGraph(gen.path_graph(4))  # 0-1-2-3
+        moved = dyn.remove_node(1)
+        assert moved == 3
+        # old node 3 now wears label 1: its single edge to 2 survives.
+        assert dyn.n == 3 and dyn.m == 1
+        assert dyn.has_edge(1, 2)
+        assert dyn.degree(0) == 0
+
+    def test_remove_neighbor_of_last(self):
+        dyn = DynamicGraph(gen.cycle_graph(4))  # 3 adjacent to 0 and 2
+        dyn.remove_node(0)
+        assert dyn.n == 3
+        # old 3 is now 0; edge (2, old-3) survived as (2, 0)
+        assert dyn.has_edge(0, 2) and dyn.has_edge(1, 2)
+        assert dyn.m == 2
+
+    def test_cannot_empty_graph(self):
+        dyn = DynamicGraph(1)
+        with pytest.raises(GraphError):
+            dyn.remove_node(0)
+
+
+class TestSnapshot:
+    def test_structural_memo_roundtrip(self):
+        g = gen.beta_barbell(3, 5)
+        dyn = DynamicGraph(g)
+        dyn.add_edge(0, 14)
+        g_mid = dyn.snapshot()
+        assert g_mid is not g and g_mid != g
+        dyn.remove_edge(0, 14)
+        assert dyn.snapshot() is g  # returned to the seeded structure
+        dyn.add_edge(0, 14)
+        assert dyn.snapshot() is g_mid  # revisited structure reuses object
+
+    def test_snapshot_cached_while_unchanged(self):
+        dyn = DynamicGraph(gen.cycle_graph(7))
+        dyn.add_edge(0, 3)
+        s1 = dyn.snapshot()
+        assert dyn.snapshot() is s1
+
+    def test_snapshot_equals_from_scratch(self):
+        dyn = DynamicGraph(gen.cycle_graph(7))
+        dyn.add_edge(0, 3)
+        dyn.rewire(1, 2, 5)
+        dyn.add_node([0, 1])
+        assert dyn.snapshot() == Graph(dyn.n, list(dyn.edges()))
+
+    def test_apply_dispatch(self):
+        dyn = DynamicGraph(gen.cycle_graph(6))
+        dyn.apply(GraphUpdate("add", u=0, v=3))
+        dyn.apply(GraphUpdate("rewire", u=0, v=3, w=2))
+        dyn.apply(GraphUpdate("remove", u=0, v=2))
+        dyn.apply(GraphUpdate("join", neighbors=(0, 1)))
+        dyn.apply(GraphUpdate("leave", u=6))
+        assert dyn.snapshot() == gen.cycle_graph(6)
+
+    def test_unknown_update_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GraphUpdate("teleport", u=0, v=1)
+
+
+# --------------------------------------------------------------------- #
+# Property test: arbitrary interleavings match a from-scratch Graph
+# --------------------------------------------------------------------- #
+
+ops = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 10**6), st.integers(0, 10**6),
+              st.integers(0, 10**6)),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(st.integers(3, 8), ops)
+@settings(max_examples=80, deadline=None)
+def test_interleaving_matches_reference(n0, raw_ops):
+    """Apply an arbitrary valid interleaving of add/remove/rewire/join/leave
+    while mirroring a plain edge-set reference; every intermediate snapshot
+    must equal the from-scratch Graph of the mirrored edges."""
+    dyn = DynamicGraph(n0)
+    n = n0
+    edges: set[tuple[int, int]] = set()
+
+    def key(a, b):
+        return (min(a, b), max(a, b))
+
+    for step, (kind, x, y, z) in enumerate(raw_ops):
+        u, v, w = x % n, y % n, z % n
+        if kind == 0 and u != v and key(u, v) not in edges:
+            dyn.add_edge(u, v)
+            edges.add(key(u, v))
+        elif kind == 1 and key(u, v) in edges:
+            dyn.remove_edge(u, v)
+            edges.discard(key(u, v))
+        elif (
+            kind == 2
+            and key(u, v) in edges
+            and w not in (u, v)
+            and key(u, w) not in edges
+        ):
+            dyn.rewire(u, v, w)
+            edges.discard(key(u, v))
+            edges.add(key(u, w))
+        elif kind == 3:
+            nbrs = {u, v} if u != v else {u}
+            dyn.add_node(sorted(nbrs))
+            edges |= {key(n, b) for b in nbrs}
+            n += 1
+        elif kind == 4 and n > 1:
+            dyn.remove_node(u)
+            last = n - 1
+            edges = {e for e in edges if u not in e}
+            relabel = {last: u}
+            edges = {
+                key(relabel.get(a, a), relabel.get(b, b)) for e in edges
+                for a, b in [e]
+            }
+            n -= 1
+        if step % 7 == 0:
+            assert dyn.snapshot() == Graph(n, sorted(edges))
+    assert (dyn.n, dyn.m) == (n, len(edges))
+    assert dyn.snapshot() == Graph(n, sorted(edges))

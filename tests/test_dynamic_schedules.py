@@ -1,0 +1,114 @@
+"""Tests for the update-schedule generators (repro.dynamic.schedules).
+
+Every generator must emit updates that are valid in sequence (replayable on
+a fresh DynamicGraph), reproducible under a fixed seed, and — by default —
+keep every intermediate snapshot connected (walk trackers require it).
+"""
+
+import pytest
+
+from repro.dynamic import (
+    DynamicGraph,
+    barbell_bridge_schedule,
+    edge_markovian_churn,
+    node_churn,
+    random_rewiring,
+)
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+
+
+def replay(base, updates):
+    """Apply updates on a fresh copy, asserting connectivity throughout."""
+    dyn = DynamicGraph(base)
+    for upd in updates:
+        dyn.apply(upd)
+        assert dyn.snapshot().is_connected, upd
+    return dyn
+
+
+class TestEdgeMarkovianChurn:
+    def test_valid_and_connected(self):
+        base = gen.random_regular(20, 4, seed=1)
+        updates = edge_markovian_churn(base, 40, seed=2)
+        assert len(updates) == 40
+        assert {u.kind for u in updates} <= {"add", "remove"}
+        replay(base, updates)
+
+    def test_seed_reproducible(self):
+        base = gen.cycle_graph(11)
+        a = edge_markovian_churn(base, 20, seed=5)
+        b = edge_markovian_churn(base, 20, seed=5)
+        assert a == b
+
+    def test_complete_graph_forces_removals(self):
+        base = gen.complete_graph(6)
+        updates = edge_markovian_churn(base, 3, seed=0, p_add=1.0)
+        assert updates[0].kind == "remove"
+        replay(base, updates)
+
+    def test_validation(self):
+        base = gen.cycle_graph(5)
+        with pytest.raises(ValueError):
+            edge_markovian_churn(base, -1)
+        with pytest.raises(ValueError):
+            edge_markovian_churn(base, 1, p_add=1.5)
+
+
+class TestRandomRewiring:
+    def test_preserves_edge_count_and_connectivity(self):
+        base = gen.random_regular(18, 4, seed=3)
+        updates = random_rewiring(base, 30, seed=4)
+        assert all(u.kind == "rewire" for u in updates)
+        dyn = replay(base, updates)
+        assert dyn.m == base.m
+
+    def test_seed_reproducible(self):
+        base = gen.beta_barbell(3, 5)
+        assert random_rewiring(base, 10, seed=9) == random_rewiring(
+            base, 10, seed=9
+        )
+
+    def test_needs_edges(self):
+        with pytest.raises(GraphError):
+            random_rewiring(DynamicGraph(3).snapshot(), 1, seed=0)
+
+
+class TestBarbellBridgeSchedule:
+    def test_shape_and_replay(self):
+        base, updates = barbell_bridge_schedule(3, 6, cycles=4, hold=2, seed=1)
+        assert base.name.startswith("barbell")
+        assert len(updates) == 4 * (2 + 2)
+        dyn = replay(base, updates)
+        # Every inserted shortcut is removed again: edge count restored.
+        assert dyn.m == base.m
+
+    def test_pure_flapping_returns_to_base(self):
+        base, updates = barbell_bridge_schedule(3, 6, cycles=2, hold=0, seed=2)
+        dyn = replay(base, updates)
+        assert dyn.snapshot() is base  # structural memo round trip
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barbell_bridge_schedule(1, 6)
+        with pytest.raises(ValueError):
+            barbell_bridge_schedule(3, 6, cycles=-1)
+
+
+class TestNodeChurn:
+    def test_valid_connected_and_bounded(self):
+        base = gen.random_regular(16, 4, seed=5)
+        updates = node_churn(base, 30, seed=6, attach=3)
+        assert {u.kind for u in updates} <= {"join", "leave"}
+        dyn = replay(base, updates)
+        assert dyn.n >= 4  # n_min floor respected
+
+    def test_join_attaches(self):
+        base = gen.cycle_graph(8)
+        updates = node_churn(base, 10, seed=7, attach=2, p_join=1.0)
+        assert all(u.kind == "join" and len(u.neighbors) == 2 for u in updates)
+
+    def test_validation(self):
+        base = gen.cycle_graph(5)
+        with pytest.raises(ValueError):
+            node_churn(base, 5, attach=0)

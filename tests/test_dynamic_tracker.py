@@ -1,0 +1,187 @@
+"""Tests for the incremental MixingTracker (repro.dynamic.tracker).
+
+The load-bearing property — the ISSUE's acceptance criterion — is that the
+tracker's per-source results are **identical** (LocalMixingResult equality:
+time, set size, bitwise deviation, threshold, both counters) to a
+from-scratch :func:`batched_local_mixing_times` on *every* snapshot, for
+every graph family and every schedule kind, including a 200-event churn
+trace.  ``eps`` is kept above the uniform-target irregularity floor
+(``~Δd/(β·d̄)``) on churned graphs so every snapshot converges quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    DynamicGraph,
+    MixingTracker,
+    barbell_bridge_schedule,
+    edge_markovian_churn,
+    node_churn,
+    random_rewiring,
+    track_local_mixing,
+)
+from repro.engine import batched_local_mixing_times
+from repro.errors import ConvergenceError, DisconnectedGraphError
+from repro.graphs import generators as gen
+from repro.graphs.base import Graph
+from repro.graphs.families import FAMILIES
+
+T_MAX = 3000
+EPS = 0.4
+
+
+def assert_trace_identical(base, updates, beta, eps, lazy=False, **kwargs):
+    trace = track_local_mixing(
+        base, updates, beta, eps, lazy=lazy, t_max=T_MAX, **kwargs
+    )
+    dyn = DynamicGraph(base)
+    snaps = iter(trace.snapshots)
+    ref = batched_local_mixing_times(
+        dyn.snapshot(), beta, eps, lazy=lazy, t_max=T_MAX
+    )
+    assert list(next(snaps).results) == ref
+    for upd in updates:
+        dyn.apply(upd)
+        ref = batched_local_mixing_times(
+            dyn.snapshot(), beta, eps, lazy=lazy, t_max=T_MAX
+        )
+        assert list(next(snaps).results) == ref, upd
+    return trace
+
+
+class TestEquivalenceAcrossFamilies:
+    """Satellite: tracker == from-scratch on every family in FAMILIES."""
+
+    @pytest.mark.parametrize("key", sorted(FAMILIES))
+    def test_churn_trace_matches_from_scratch(self, key):
+        fam = FAMILIES[key]
+        g = fam.build(24, 3, np.random.default_rng(11))
+        updates = edge_markovian_churn(g, 10, seed=13)
+        assert_trace_identical(g, updates, beta=3.0, eps=EPS, lazy=fam.lazy)
+
+    @pytest.mark.parametrize("key", ["expander", "barbell"])
+    def test_rewiring_trace_matches_from_scratch(self, key):
+        fam = FAMILIES[key]
+        g = fam.build(24, 3, np.random.default_rng(17))
+        updates = random_rewiring(g, 8, seed=19)
+        assert_trace_identical(g, updates, beta=3.0, eps=EPS, lazy=fam.lazy)
+
+    def test_node_churn_matches_from_scratch(self):
+        g = gen.random_regular(20, 4, seed=23)
+        updates = node_churn(g, 8, seed=29, attach=3)
+        trace = assert_trace_identical(g, updates, beta=4.0, eps=EPS)
+        # n changes force the full-recompute fallback.
+        assert trace.stats["full_solves"] >= 1
+
+
+class TestAcceptanceTrace:
+    def test_200_event_churn_identical_everywhere(self):
+        """The ISSUE acceptance criterion, at tier-1 scale: 200 churn events,
+        identity against the from-scratch engine on every snapshot."""
+        base, updates = barbell_bridge_schedule(
+            3, 8, cycles=50, hold=2, seed=31
+        )
+        assert len(updates) == 200
+        trace = assert_trace_identical(base, updates, beta=3.0, eps=EPS)
+        stats = trace.stats
+        assert stats["snapshots"] == 201
+        # The incremental machinery actually engaged: most source queries
+        # were answered by locality pruning or the structural memo.
+        total = 201 * base.n
+        assert stats["solved_sources"] < total / 2
+        assert stats["reused_sources"] > 0
+
+
+class TestTrackerMechanics:
+    def test_memo_hit_on_revisited_structure(self):
+        base, updates = barbell_bridge_schedule(3, 6, cycles=2, hold=0, seed=1)
+        trace = track_local_mixing(base, updates, 3.0, EPS, t_max=T_MAX)
+        assert trace.stats["memo_hits"] >= 2
+        flap_back = trace.snapshots[2]
+        assert flap_back.memo_hit and flap_back.solved_sources == 0
+        assert flap_back.results is trace.snapshots[0].results
+
+    def test_from_scratch_method_matches_incremental(self):
+        # hold=0 makes structures revisit — the from-scratch reference must
+        # recompute anyway (no structural-memo shortcuts).
+        base, updates = barbell_bridge_schedule(3, 6, cycles=2, hold=0, seed=3)
+        inc = track_local_mixing(base, updates, 3.0, EPS, t_max=T_MAX)
+        ref = track_local_mixing(
+            base, updates, 3.0, EPS, t_max=T_MAX, method="from_scratch"
+        )
+        for a, b in zip(inc.snapshots, ref.snapshots):
+            assert list(a.results) == list(b.results)
+        assert ref.tracker.stats["full_solves"] == len(ref.snapshots)
+        assert ref.tracker.stats["memo_hits"] == 0
+
+    def test_locality_pruning_engages_on_barbell(self):
+        base, updates = barbell_bridge_schedule(4, 12, cycles=2, hold=0, seed=5)
+        trace = track_local_mixing(
+            base, updates, 4.0, t_max=T_MAX, memo_size=0
+        )
+        pruned = [s for s in trace.snapshots if s.reused_sources > 0]
+        assert pruned, "expected locality pruning on a barbell trace"
+        # tau is clique-local: the bridge flaps leave it unchanged.
+        assert len(set(trace.tau_trace)) == 1
+
+    def test_observe_accepts_arbitrary_graphs(self):
+        tracker = MixingTracker(3.0, EPS, t_max=T_MAX)
+        g1 = gen.cycle_graph(9)
+        g2 = gen.cycle_graph(11)  # different n: full-recompute fallback
+        r1 = tracker.observe(g1)
+        r2 = tracker.observe(g2)
+        assert list(r1.results) == batched_local_mixing_times(g1, 3.0, EPS)
+        assert list(r2.results) == batched_local_mixing_times(g2, 3.0, EPS)
+        assert tracker.stats["full_solves"] == 2
+
+    def test_snapshot_fields(self):
+        trace = track_local_mixing(
+            gen.cycle_graph(9), edge_markovian_churn(gen.cycle_graph(9), 3, seed=7),
+            3.0, EPS, t_max=T_MAX,
+        )
+        first = trace.snapshots[0]
+        assert first.update is None and first.index == 0
+        assert first.tau == max(first.times)
+        assert all(s.seconds >= 0 for s in trace.snapshots)
+        assert trace.tau_trace == [s.tau for s in trace.snapshots]
+
+    def test_doubling_grid_knobs_match(self):
+        base, updates = barbell_bridge_schedule(3, 6, cycles=2, hold=1, seed=9)
+        kw = dict(
+            sizes="grid", threshold_factor=4.0, t_schedule="doubling",
+            t_max=4096,
+        )
+        trace = track_local_mixing(base, updates, 3.0, 0.25, **kw)
+        dyn = DynamicGraph(base)
+        refs = [batched_local_mixing_times(dyn.snapshot(), 3.0, 0.25, **kw)]
+        for upd in updates:
+            dyn.apply(upd)
+            refs.append(
+                batched_local_mixing_times(dyn.snapshot(), 3.0, 0.25, **kw)
+            )
+        for snap, ref in zip(trace.snapshots, refs):
+            assert list(snap.results) == ref
+
+
+class TestTrackerValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MixingTracker(0.5)
+        with pytest.raises(ValueError):
+            MixingTracker(2.0, eps=1.5)
+        with pytest.raises(ValueError):
+            MixingTracker(2.0, method="psychic")
+        with pytest.raises(ValueError):
+            MixingTracker(2.0, memo_size=-1)
+
+    def test_disconnected_snapshot_raises(self):
+        tracker = MixingTracker(2.0, EPS)
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            tracker.observe(g)
+
+    def test_unconverged_snapshot_raises_like_driver(self):
+        tracker = MixingTracker(2.0, 1e-6, t_max=3)
+        with pytest.raises(ConvergenceError):
+            tracker.observe(gen.beta_barbell(2, 6))

@@ -15,14 +15,19 @@ import pytest
 from repro.engine import (
     BatchedUniformDeviationOracle,
     BlockPropagator,
+    batched_local_mixing_profiles,
     batched_local_mixing_spectra,
     batched_local_mixing_times,
+    batched_mixing_times,
     block_distribution_at,
+    clear_propagator_cache,
+    propagator_cache_info,
+    set_propagator_cache_maxsize,
     shared_spectral_propagator,
 )
 from repro.errors import BipartiteGraphError, ConvergenceError
 from repro.graphs import generators as gen
-from repro.walks import distribution_at
+from repro.walks import distribution_at, mixing_time
 from repro.walks.distribution import SpectralPropagator, distribution_trajectory
 from repro.walks.local_mixing import (
     UniformDeviationOracle,
@@ -262,3 +267,203 @@ class TestBatchedSpectra:
         g = gen.beta_barbell(4, 8)
         spectra = batched_local_mixing_spectra(g, sources=[0], t_max=5)
         assert math.inf in spectra[0].values()
+
+class TestPropagatorCacheControl:
+    """Satellite: cache control so dynamic workloads can bound the dense
+    eigenbases held by the shared spectral cache."""
+
+    def setup_method(self):
+        clear_propagator_cache()
+        set_propagator_cache_maxsize(8)
+
+    def teardown_method(self):
+        clear_propagator_cache()
+        set_propagator_cache_maxsize(8)
+
+    def test_clear_drops_entries_and_counters(self):
+        g = gen.cycle_graph(9)
+        shared_spectral_propagator(g)
+        assert propagator_cache_info().currsize == 1
+        clear_propagator_cache()
+        info = propagator_cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_hit_and_miss_counters(self):
+        g = gen.cycle_graph(9)
+        a = shared_spectral_propagator(g)
+        b = shared_spectral_propagator(gen.cycle_graph(9))
+        assert a is b
+        info = propagator_cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_maxsize_bounds_lru(self):
+        set_propagator_cache_maxsize(2)
+        g1, g2, g3 = (gen.cycle_graph(n) for n in (7, 9, 11))
+        p1 = shared_spectral_propagator(g1)
+        shared_spectral_propagator(g2)
+        shared_spectral_propagator(g3)  # evicts g1 (LRU)
+        assert propagator_cache_info().currsize == 2
+        assert shared_spectral_propagator(g1) is not p1  # rebuilt
+
+    def test_maxsize_zero_disables_caching(self):
+        set_propagator_cache_maxsize(0)
+        g = gen.cycle_graph(9)
+        a = shared_spectral_propagator(g)
+        assert shared_spectral_propagator(g) is not a
+        assert propagator_cache_info().currsize == 0
+
+    def test_shrinking_evicts_existing(self):
+        for n in (7, 9, 11):
+            shared_spectral_propagator(gen.cycle_graph(n))
+        set_propagator_cache_maxsize(1)
+        assert propagator_cache_info().currsize == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            set_propagator_cache_maxsize(-1)
+
+
+class TestGridKernels:
+    def test_best_sums_grid_bitwise_matches_per_size(self):
+        rng = np.random.default_rng(8)
+        P = rng.dirichlet(np.ones(33), size=6).T
+        oracle = BatchedUniformDeviationOracle(P)
+        Rs = np.arange(1, 34)
+        sums, starts = oracle.best_sums_grid(Rs)
+        for i, R in enumerate(Rs):
+            ref_s, ref_j = oracle.best_sums(int(R))
+            assert np.array_equal(sums[i], ref_s)
+            assert np.array_equal(starts[i], ref_j)
+
+    def test_best_sums_grid_with_ties(self):
+        p = distribution_at(gen.cycle_graph(15), 0, 6)
+        oracle = BatchedUniformDeviationOracle(np.stack([p, p], axis=1))
+        Rs = np.arange(1, 16)
+        sums, _ = oracle.best_sums_grid(Rs)
+        for i, R in enumerate(Rs):
+            ref, _ = oracle.best_sums(int(R))
+            assert np.array_equal(sums[i], ref)
+
+    def test_lower_bounds_never_exceed_minima(self):
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            P = rng.dirichlet(np.ones(40), size=5).T
+            oracle = BatchedUniformDeviationOracle(P)
+            Rs = np.arange(1, 41)
+            lb = oracle.deviation_lower_bounds(Rs)
+            exact, _ = oracle.best_sums_grid(Rs)
+            assert (lb <= exact + 1e-12).all()
+            assert (lb >= 0).all()
+
+    def test_lower_bounds_tight_on_uniform_column(self):
+        # Uniform column: every window deviates by exactly 1 − R/n, and the
+        # rightmost-window bound attains it for every R.
+        p = np.full(20, 1.0 / 20)
+        oracle = BatchedUniformDeviationOracle(p[:, None])
+        Rs = np.arange(1, 21)
+        lb = oracle.deviation_lower_bounds(Rs)
+        exact, _ = oracle.best_sums_grid(Rs)
+        np.testing.assert_allclose(lb[:, 0], exact[:, 0], atol=1e-12)
+
+    def test_grid_validation(self):
+        oracle = BatchedUniformDeviationOracle(np.ones((5, 2)) / 5)
+        with pytest.raises(ValueError):
+            oracle.best_sums_grid(np.array([6]))
+        with pytest.raises(ValueError):
+            oracle.best_sums_grid(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            oracle.deviation_lower_bounds(np.array([0]))
+        with pytest.raises(ValueError):
+            oracle.best_sums_grid(np.array([2]), k0=np.zeros((3, 3), np.int64))
+
+
+class TestBatchedMixingTimes:
+    """Satellite: graph_mixing_time's per-source loop rewired onto the
+    engine — per-source outputs must be identical for both methods."""
+
+    CASES = [
+        (gen.beta_barbell(3, 6), False),
+        (gen.cycle_graph(15), False),
+        (gen.path_graph(12), True),
+        (gen.random_regular(24, 4, seed=3), False),
+    ]
+
+    @pytest.mark.parametrize("g,lazy", CASES, ids=lambda v: str(v))
+    def test_iterative_identical_to_loop(self, g, lazy):
+        batch = batched_mixing_times(g, 0.25, lazy=lazy, method="iterative")
+        assert batch == [
+            mixing_time(g, s, 0.25, lazy=lazy, method="iterative")
+            for s in range(g.n)
+        ]
+
+    @pytest.mark.parametrize("g,lazy", CASES, ids=lambda v: str(v))
+    def test_spectral_identical_to_loop(self, g, lazy):
+        batch = batched_mixing_times(g, 0.25, lazy=lazy, method="spectral")
+        assert batch == [
+            mixing_time(g, s, 0.25, lazy=lazy, method="spectral")
+            for s in range(g.n)
+        ]
+
+    def test_source_subset_order(self):
+        g = gen.beta_barbell(3, 6)
+        srcs = [17, 0, 5]
+        assert batched_mixing_times(g, 0.2, sources=srcs) == [
+            mixing_time(g, s, 0.2, method="spectral") for s in srcs
+        ]
+
+    def test_t0_resolution(self):
+        # A near-uniform start mixes at t=0 for loose eps on K_n.
+        g = gen.complete_graph(16)
+        assert set(batched_mixing_times(g, 0.999)) <= {0, 1}
+
+    def test_convergence_error_both_methods(self):
+        g = gen.beta_barbell(3, 6)
+        with pytest.raises(ConvergenceError):
+            batched_mixing_times(g, 1e-9, t_max=3, method="iterative")
+        with pytest.raises(ConvergenceError):
+            batched_mixing_times(g, 1e-9, t_max=3, method="spectral")
+
+    def test_validation(self):
+        g = gen.cycle_graph(9)
+        with pytest.raises(ValueError):
+            batched_mixing_times(g, 0.0)
+        with pytest.raises(ValueError):
+            batched_mixing_times(g, 0.2, method="magic")
+        with pytest.raises(BipartiteGraphError):
+            batched_mixing_times(gen.path_graph(6), 0.2)
+
+
+class TestBatchedProfiles:
+    """Satellite: local_mixing_profile batched the same way."""
+
+    def test_identical_to_trajectory_loop(self):
+        from repro.walks.local_mixing import _candidate_sizes
+        from repro.constants import DEFAULT_EPS
+
+        g = gen.beta_barbell(3, 6)
+        srcs = [0, 2, 17]
+        out = batched_local_mixing_profiles(g, 3.0, sources=srcs, t_max=25)
+        cand = _candidate_sizes(g.n, 3.0, "all", DEFAULT_EPS)
+        for j, s in enumerate(srcs):
+            ref = np.empty(26)
+            for t, p in distribution_trajectory(g, s, t_max=25):
+                oracle = UniformDeviationOracle(p, source=s)
+                ref[t] = min(oracle.best_sum(R)[0] for R in cand)
+            assert np.array_equal(out[j], ref)
+
+    def test_lazy_and_grid_sizes(self):
+        from repro.walks.local_mixing import local_mixing_profile
+
+        g = gen.path_graph(12)
+        out = batched_local_mixing_profiles(
+            g, 4.0, sources=[5], sizes="grid", t_max=30, lazy=True
+        )
+        ref = local_mixing_profile(
+            g, 5, 4.0, sizes="grid", t_max=30, lazy=True
+        )
+        assert np.array_equal(out[0], ref)
+
+    def test_default_sources_all_nodes(self):
+        g = gen.cycle_graph(9)
+        out = batched_local_mixing_profiles(g, 3.0, t_max=10)
+        assert out.shape == (9, 11)

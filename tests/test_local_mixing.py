@@ -288,3 +288,32 @@ class TestNonMonotoneProfile:
         prof = local_mixing_profile(g, 0, beta=4, sizes="grid", t_max=res.time)
         assert prof[res.time] < DEFAULT_EPS
         assert (prof[: res.time] >= DEFAULT_EPS).all()
+
+
+class TestProfileBatched:
+    """local_mixing_profile now rides the batched engine (single column);
+    require_source keeps the per-source path."""
+
+    def test_profile_bitwise_matches_trajectory_loop(self):
+        from repro.walks.distribution import distribution_trajectory
+        from repro.walks.local_mixing import _candidate_sizes
+        from repro.constants import DEFAULT_EPS
+
+        g = gen.beta_barbell(3, 6)
+        prof = local_mixing_profile(g, 2, beta=3, t_max=20)
+        cand = _candidate_sizes(g.n, 3, "all", DEFAULT_EPS)
+        ref = np.empty(21)
+        for t, p in distribution_trajectory(g, 2, t_max=20):
+            oracle = UniformDeviationOracle(p, source=2)
+            ref[t] = min(oracle.best_sum(R)[0] for R in cand)
+        assert np.array_equal(prof, ref)
+
+    def test_require_source_path_still_constrained(self):
+        g = gen.beta_barbell(3, 6)
+        free = local_mixing_profile(g, 0, beta=3, t_max=15)
+        constrained = local_mixing_profile(
+            g, 0, beta=3, t_max=15, require_source=True
+        )
+        assert constrained.shape == free.shape
+        # The constraint can only increase the best deviation.
+        assert (constrained >= free - 1e-12).all()
