@@ -1,13 +1,20 @@
 """E1 — the batched multi-source walk engine vs the seed per-source loop.
 
-Claim (engine subsystem): computing ``τ(β,ε) = max_v τ_v(β,ε)`` over *all*
-sources of a ~400-node regular graph is ≥ 5× faster on the batch engine
-(one block trajectory + one batched deviation oracle per step) than the
-seed per-source loop, with **identical** per-source results — same times,
-set sizes, bitwise-equal deviations and bookkeeping counters.
+Claims (engine subsystem):
+
+1. computing ``τ(β,ε) = max_v τ_v(β,ε)`` over *all* sources of a ~400-node
+   regular graph is ≥ 5× faster on the batch engine (one block trajectory +
+   one batched deviation oracle per step) than the seed per-source loop,
+   with **identical** per-source results — same times, set sizes, bitwise-
+   equal deviations and bookkeeping counters;
+2. the fused ``_solve_chunk`` kernels (one search-free
+   ``deviation_lower_bounds`` call per step for the whole ``(R, column)``
+   grid, ported from the dynamic tracker) beat the PR-2 per-``R`` bracket
+   search baseline (``prefilter="per_size"``), again with identical
+   results.
 
 Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the instance and
-only asserts exactness plus a nominal speedup, since shared runners time
+only asserts exactness plus nominal speedups, since shared runners time
 unreliably.
 """
 
@@ -27,33 +34,45 @@ def run_compare(n: int, d: int, seed: int = 1):
     batch = batched_local_mixing_times(g, BETA)
     t_batch = time.perf_counter() - t0
     t0 = time.perf_counter()
+    baseline = batched_local_mixing_times(g, BETA, prefilter="per_size")
+    t_baseline = time.perf_counter() - t0
+    t0 = time.perf_counter()
     loop = [local_mixing_time(g, s, BETA) for s in range(g.n)]
     t_loop = time.perf_counter() - t0
-    return g, batch, loop, t_batch, t_loop
+    return g, batch, baseline, loop, t_batch, t_baseline, t_loop
 
 
 def test_e1_batch_engine(record_table, quick_mode):
     n, d = (120, 6) if quick_mode else (400, 8)
-    g, batch, loop, t_batch, t_loop = run_compare(n, d)
+    g, batch, baseline, loop, t_batch, t_baseline, t_loop = run_compare(n, d)
 
     # Identical per-source outputs (LocalMixingResult equality covers time,
-    # set_size, bitwise deviation, threshold and both counters).
+    # set_size, bitwise deviation, threshold and both counters) — for the
+    # fused default AND the PR-2 per-size prefilter baseline.
     assert batch == loop
+    assert baseline == loop
 
     speedup = t_loop / t_batch
     assert speedup >= (1.5 if quick_mode else 5.0), (
         f"batch engine speedup {speedup:.1f}x below target "
         f"(loop {t_loop:.2f}s, engine {t_batch:.2f}s)"
     )
+    fused_speedup = t_baseline / t_batch
+    assert fused_speedup >= (1.1 if quick_mode else 1.3), (
+        f"fused _solve_chunk kernels {fused_speedup:.2f}x vs the per-size "
+        f"bracket baseline (per_size {t_baseline:.2f}s, fused {t_batch:.2f}s)"
+    )
 
     tau = max(r.time for r in batch)
     table = format_table(
-        ["n", "d", "sources", "tau(beta=4)", "loop s", "engine s", "speedup"],
-        [[g.n, d, g.n, tau, f"{t_loop:.2f}", f"{t_batch:.2f}",
-          f"{speedup:.1f}x"]],
+        ["n", "d", "sources", "tau(beta=4)", "loop s", "per-size s",
+         "fused s", "vs loop", "vs per-size"],
+        [[g.n, d, g.n, tau, f"{t_loop:.2f}", f"{t_baseline:.2f}",
+          f"{t_batch:.2f}", f"{speedup:.1f}x", f"{fused_speedup:.1f}x"]],
         title=(
-            "E1: batched multi-source engine vs seed per-source loop "
-            "(identical per-source results asserted)"
+            "E1: batched multi-source engine — fused kernels vs the PR-2 "
+            "per-size prefilter vs the seed per-source loop (identical "
+            "per-source results asserted for all three)"
         ),
     )
     record_table("e1_batch_engine", table)

@@ -5,9 +5,9 @@ the local curve shifted down by ≈ β²).  Measured with the lazy walk at
 ε = 0.4 (deviation D2 in EXPERIMENTS.md explains the ε choice).
 """
 
+from repro.engine import batched_local_mixing_times, batched_mixing_times
 from repro.graphs import path_graph
 from repro.utils import format_table, loglog_slope
-from repro.walks import local_mixing_time, mixing_time
 
 EPS = 0.4
 BETA = 8
@@ -15,11 +15,15 @@ SIZES = (48, 96, 192, 384)
 
 
 def run_sweep():
+    # Both measurements per size ride the batched engine (identical to the
+    # per-source calls; one shared spectral cache entry per graph).
     rows = []
     for n in SIZES:
         g = path_graph(n)
-        tm = mixing_time(g, n // 2, EPS, lazy=True)
-        tl = local_mixing_time(g, n // 2, beta=BETA, eps=EPS, lazy=True).time
+        tm = batched_mixing_times(g, EPS, sources=[n // 2], lazy=True)[0]
+        tl = batched_local_mixing_times(
+            g, BETA, EPS, sources=[n // 2], lazy=True
+        )[0].time
         rows.append([n, tm, tl, tm / max(tl, 1)])
     return rows
 

@@ -12,12 +12,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.constants import DEFAULT_EPS
+from repro.engine import batched_local_mixing_times, batched_mixing_times
 from repro.graphs.base import Graph
 from repro.graphs.families import get_family
 from repro.graphs.properties import estimate_diameter_two_sweep
 from repro.utils.seeding import as_rng
-from repro.walks.local_mixing import graph_local_mixing_time, local_mixing_time
-from repro.walks.mixing import mixing_time
+from repro.walks.local_mixing import graph_local_mixing_time
 
 __all__ = ["measure_graph", "family_sweep"]
 
@@ -35,15 +35,22 @@ def measure_graph(
 ) -> dict:
     """Measure one instance: τ_mix, τ_local, ratio, and structure.
 
+    Both quantities run on the batched engine — identical outputs to the
+    per-source ``mixing_time`` / ``local_mixing_time`` calls, but the two
+    measurements (and, with ``all_sources=True``, the full τ pass) share
+    the per-graph spectral cache instead of re-deriving the operator.
+
     With ``all_sources=True`` the row also carries the paper's worst-case
     ``τ(β,ε) = max_v τ_v(β,ε)`` — affordable on the batched multi-source
     engine (one block trajectory for all ``n`` sources instead of ``n``
     per-source runs).
     """
-    tau_mix = mixing_time(g, source, eps, lazy=lazy, t_max=t_max)
-    tau_loc = local_mixing_time(
-        g, source, beta, eps, lazy=lazy, sizes=sizes, t_max=t_max
-    ).time
+    tau_mix = batched_mixing_times(
+        g, eps, sources=[source], lazy=lazy, t_max=t_max
+    )[0]
+    tau_loc = batched_local_mixing_times(
+        g, beta, eps, sources=[source], lazy=lazy, sizes=sizes, t_max=t_max
+    )[0].time
     row = {
         "graph": g.name,
         "n": g.n,

@@ -27,14 +27,29 @@ snapshot.  Three exact accelerations make that affordable:
    restricted deviation is non-monotone in ``t`` — the paper's §3 remark —
    so the first firing time must be re-scanned, not bisected.)
 
-3. **Fused re-scan prefilter** — the sources that do need re-solving go
-   through one search-free
+3. **Fused re-scan prefilter** — the sources that do need re-solving are
+   handed to :func:`~repro.engine.batch.batched_local_mixing_times`, whose
+   ``_solve_chunk`` screens every candidate set size × every live column
+   with one search-free
    :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
-   call per step (a valid lower bound for every candidate set size × every
-   live column, ``O(1)`` per pair) instead of the driver's per-``R`` window
-   searches; every flagged ``(t, R, source)`` is then decided by the exact
-   single-source arithmetic, so over-flagging costs a verification and
-   under-flagging is impossible.
+   call per step (``O(1)`` per pair) and decides every flagged
+   ``(t, R, source)`` with the exact single-source arithmetic — so
+   over-flagging costs a verification and under-flagging is impossible.
+   (The kernel originated here and moved into the engine, where every
+   batched call now benefits; the tracker simply delegates.)
+
+The tracker covers the engine's full knob space, including
+``target="degree"`` (the irregular-graph degree-proportional target) and
+``require_source=True``.  One target-specific soundness guard applies: the
+degree heuristic ranks *every* node by ``|p(v) − d(v)/µ|`` against the
+global mean degree, so any edit that changes the degree vector anywhere
+can flip its selections regardless of distance — locality pruning is
+therefore applied under ``target="degree"`` only when the edit preserved
+the degree vector exactly (e.g. degree-preserving rewires); otherwise the
+snapshot is re-solved in full (still batched, memoized and prefiltered).
+Under the uniform target, decisions depend only on the source's own
+trajectory and pruning applies unconditionally; ``require_source`` does
+not change the pruning argument for either target.
 
 Whenever an update breaks the assumptions (node join/leave changed ``n``,
 no prior snapshot, ``method="from_scratch"``), the tracker falls back to a
@@ -51,12 +66,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.constants import DEFAULT_EPS
-from repro.errors import ConvergenceError
 from repro.graphs.base import Graph
 from repro.graphs.properties import multi_source_distances
-from repro.engine.batch import _VERIFY_SLACK, batched_local_mixing_times
-from repro.engine.oracle import BatchedUniformDeviationOracle
-from repro.engine.propagator import BlockPropagator
+from repro.engine.batch import batched_local_mixing_times
 from repro.dynamic.graph import DynamicGraph, GraphUpdate
 
 __all__ = ["MixingTracker", "TrackedSnapshot", "TrackingTrace", "track_local_mixing"]
@@ -105,22 +117,9 @@ class TrackingTrace:
 
     @property
     def stats(self) -> dict:
+        """A copy of the tracker's work counters (snapshots, memo hits,
+        reused/solved sources, full/partial solves)."""
         return dict(self.tracker.stats) if self.tracker is not None else {}
-
-
-def _exact_best_sum(z: np.ndarray, pre: np.ndarray, R: int) -> float:
-    """``min_{|S|=R} Σ|p − 1/R|`` for one sorted column ``z`` with prefix
-    sums ``pre`` — a transcript of
-    :meth:`~repro.walks.local_mixing.UniformDeviationOracle.best_sum`
-    (the shared :func:`~repro.walks.local_mixing.window_deviation_sums`
-    formula plus the same ``argmin``), fed from the batched oracle's
-    column-sorted block instead of a fresh per-column ``argsort``/``cumsum``
-    (both produce bitwise-identical arrays, so the value is too)."""
-    from repro.walks.local_mixing import window_deviation_sums
-
-    starts = np.arange(z.size - R + 1)
-    sums = window_deviation_sums(z, pre, R, 1.0 / R, starts)
-    return float(sums[int(np.argmin(sums))])
 
 
 def _changed_nodes(a: Graph, b: Graph) -> np.ndarray:
@@ -139,10 +138,19 @@ class MixingTracker:
 
     Parameters mirror :func:`~repro.engine.batch.batched_local_mixing_times`
     (``beta``, ``eps``, ``sizes``, ``threshold_factor``, ``grid_factor``,
-    ``t_schedule``, ``t_max``, ``lazy``); the constrained knobs the batch
-    engine itself falls back to the per-source loop for
-    (``require_source=True``, the ``"degree"`` target) are not supported.
+    ``t_schedule``, ``t_max``, ``lazy``, ``require_source``, ``target``) —
+    the tracker covers the engine's full knob space, and its per-snapshot
+    results equal a from-scratch engine call for every combination.
 
+    target:
+        ``"uniform"`` (default) — Definition 2's uniform-target deviation.
+        ``"degree"`` — the degree-proportional target for irregular
+        (churned) graphs.  Locality pruning under ``"degree"`` is applied
+        only across degree-preserving edits (see the module docstring);
+        other edits trigger a full — still batched and memoized — re-solve.
+    require_source:
+        Pin each source inside its own witness set (Definition 2's
+        ``s ∈ S``); handled in-block by the engine.
     method:
         ``"incremental"`` (default) applies the memo + locality pruning +
         fused re-scan pipeline.  ``"from_scratch"`` recomputes every
@@ -164,6 +172,8 @@ class MixingTracker:
         t_schedule: str = "all",
         t_max: int | None = None,
         lazy: bool = False,
+        require_source: bool = False,
+        target: str = "uniform",
         method: str = "incremental",
         memo_size: int = 32,
     ):
@@ -171,6 +181,8 @@ class MixingTracker:
             raise ValueError("eps must be in (0,1)")
         if beta < 1:
             raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+        if target not in ("uniform", "degree"):
+            raise ValueError(f"unknown target {target!r}")
         if method not in ("incremental", "from_scratch"):
             raise ValueError(f"unknown method {method!r}")
         if memo_size < 0:
@@ -183,6 +195,8 @@ class MixingTracker:
         self.t_schedule = t_schedule
         self.t_max = t_max
         self.lazy = lazy
+        self.require_source = require_source
+        self.target = target
         self.method = method
         self.memo_size = memo_size
         self._memo: OrderedDict[Graph, tuple] = OrderedDict()
@@ -255,20 +269,31 @@ class MixingTracker:
             while len(self._memo) > self.memo_size:
                 self._memo.popitem(last=False)
 
+    def _solve_batch(self, g: Graph, sources: list[int] | None = None):
+        """One engine call with the tracker's full knob set.
+
+        :func:`~repro.engine.batch.batched_local_mixing_times` carries the
+        loop-equivalence guarantee (and, since the fused-kernel port, the
+        search-free ``deviation_lower_bounds`` prefilter) for every target
+        / constraint combination, so both tracker methods — and the partial
+        re-solves — share this single code path."""
+        return batched_local_mixing_times(
+            g,
+            self.beta,
+            self.eps,
+            sources=sources,
+            sizes=self.sizes,
+            threshold_factor=self.threshold_factor,
+            grid_factor=self.grid_factor,
+            t_schedule=self.t_schedule,
+            t_max=self.t_max,
+            lazy=self.lazy,
+            require_source=self.require_source,
+            target=self.target,
+        )
+
     def _solve_full(self, g: Graph):
-        if self.method == "from_scratch":
-            return batched_local_mixing_times(
-                g,
-                self.beta,
-                self.eps,
-                sizes=self.sizes,
-                threshold_factor=self.threshold_factor,
-                grid_factor=self.grid_factor,
-                t_schedule=self.t_schedule,
-                t_max=self.t_max,
-                lazy=self.lazy,
-            )
-        return self._grid_scan(g, list(range(g.n)))
+        return self._solve_batch(g)
 
     def _solve_incremental(self, g: Graph) -> tuple[tuple, int, int]:
         prev_g = self._prev_graph
@@ -276,6 +301,15 @@ class MixingTracker:
         if prev_g == g:
             # Structurally identical but evicted from the memo.
             return prev_res, g.n, 0
+        if self.target == "degree" and not np.array_equal(
+            prev_g.degrees, g.degrees
+        ):
+            # The degree heuristic ranks every node against the global mean
+            # degree, so a degree change anywhere can flip selections for
+            # any source — distance-based pruning is unsound here (module
+            # docstring); re-solve the snapshot in full.
+            self.stats["full_solves"] += 1
+            return tuple(self._solve_full(g)), 0, g.n
         touched = _changed_nodes(prev_g, g)
         d_old = multi_source_distances(prev_g, touched)
         d_new = multi_source_distances(g, touched)
@@ -297,88 +331,14 @@ class MixingTracker:
             from repro.walks.local_mixing import _resolve_walk_bounds
 
             _resolve_walk_bounds(g, self.lazy, self.t_max)
-        fresh = self._grid_scan(g, [int(s) for s in redo])
+            fresh = []
+        else:
+            fresh = self._solve_batch(g, [int(s) for s in redo])
         merged = list(prev_res)
         for pos, res in zip(redo, fresh):
             merged[int(pos)] = res
         self.stats["partial_solves"] += 1
         return tuple(merged), int(keep.sum()), int(redo.size)
-
-    # ------------------------------------------------------------------ #
-    # Fused exact re-scan
-    # ------------------------------------------------------------------ #
-
-    def _grid_scan(self, g: Graph, sources: list[int]):
-        """Exact first-firing scan for ``sources`` on snapshot ``g``.
-
-        Semantically a transcript of the batch driver's ``_solve_chunk`` —
-        same schedule, same threshold, same result fields (counters are
-        reconstructed from the shared scan position) — but the per-step
-        prefilter for *every* candidate size comes from one fused
-        :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
-        call, and every flagged ``(t, R, source)`` is decided by the exact
-        single-source oracle.  A lower bound can only over-flag, never
-        under-flag, so the decisions — and hence every result field — match
-        the driver pair for pair.
-        """
-        from repro.walks.local_mixing import (
-            LocalMixingResult,
-            _candidate_sizes,
-            _resolve_walk_bounds,
-            _t_iter,
-        )
-
-        if not sources:
-            return []
-        t_max = _resolve_walk_bounds(g, self.lazy, self.t_max)
-        grid_factor = self.eps if self.grid_factor is None else self.grid_factor
-        candidates = _candidate_sizes(g.n, self.beta, self.sizes, grid_factor)
-        threshold = self.eps * self.threshold_factor
-        cutoff = threshold * (1.0 + _VERIFY_SLACK)
-        Rs = np.asarray(candidates, dtype=np.int64)
-        inv_r = 1.0 / Rs
-        n_cand = len(candidates)
-        results: list = [None] * len(sources)
-        col_pos = np.arange(len(sources))
-        prop = BlockPropagator(g, sources, lazy=self.lazy)
-        for steps, t in enumerate(_t_iter(self.t_schedule, t_max), start=1):
-            if col_pos.size == 0:
-                break
-            P = prop.advance_to(t)
-            oracle = BatchedUniformDeviationOracle(P)
-            k0 = oracle.split_points(inv_r)
-            bounds = oracle.deviation_lower_bounds(Rs, k0=k0)
-            hits = bounds < cutoff
-            resolved: list[int] = []
-            for col in map(int, np.flatnonzero(hits.any(axis=0))):
-                z = oracle.sorted[:, col]
-                pre = oracle.prefix[:, col]
-                for r_idx in map(int, np.flatnonzero(hits[:, col])):
-                    s_exact = _exact_best_sum(z, pre, int(Rs[r_idx]))
-                    if s_exact < threshold:
-                        results[col_pos[col]] = LocalMixingResult(
-                            time=t,
-                            set_size=int(Rs[r_idx]),
-                            deviation=s_exact,
-                            threshold=threshold,
-                            steps_checked=steps,
-                            sizes_checked=(steps - 1) * n_cand + r_idx + 1,
-                        )
-                        resolved.append(col)
-                        break
-            if resolved:
-                keep = np.setdiff1d(np.arange(P.shape[1]), resolved)
-                col_pos = col_pos[keep]
-                prop.drop_columns(keep)
-        if col_pos.size:
-            missing = [sources[int(i)] for i in col_pos]
-            raise ConvergenceError(
-                f"no local mixing found up to t_max={t_max} for sources "
-                f"{missing[:8]}{'…' if len(missing) > 8 else ''} "
-                f"(beta={self.beta}, eps={self.eps}, threshold={threshold})",
-                last_length=t_max,
-            )
-        return results
 
 
 def track_local_mixing(

@@ -14,12 +14,20 @@ batching idea of Das Sarma et al. and Molla–Pandurangan:
   ``(graph, lazy)`` for random access in ``t``.
 * :class:`~repro.engine.oracle.BatchedUniformDeviationOracle` sorts all ``k``
   columns at once and answers ``min_{|S|=R} Σ|p − 1/R|`` for every source per
-  ``(t, R)`` grid point in ``O(k log n)`` via a unimodal bracket search.
+  ``(t, R)`` grid point in ``O(k log n)`` via a unimodal bracket search —
+  or, fused, bounds the whole ``(R, column)`` grid search-free in ``O(1)``
+  per pair (``deviation_lower_bounds``, the default driver prefilter).
+  :class:`~repro.engine.oracle.BatchedDegreeDeviationOracle` is the
+  degree-proportional-target companion: a column-vectorized, bitwise-equal
+  transcript of the per-source fixed-point heuristic for irregular graphs.
 * :func:`~repro.engine.batch.batched_local_mixing_times` and
   :func:`~repro.engine.batch.batched_local_mixing_spectra` are the drivers
-  the multi-source call sites (``graph_local_mixing_time``, sweeps, report)
-  run on; their outputs are **identical** to the per-source loop (hits are
-  re-verified with the exact single-source oracle before a source stops).
+  the multi-source call sites (``graph_local_mixing_time``, sweeps, report,
+  the dynamic :class:`~repro.dynamic.MixingTracker`) run on; their outputs
+  are **identical** to the per-source loop for *every* knob combination —
+  ``target="degree"`` and ``require_source=True`` included; nothing falls
+  back to a per-source trajectory loop (hits are re-verified with the exact
+  single-source arithmetic before a source stops).
   :func:`~repro.engine.batch.batched_mixing_times` (global Definition-1
   times behind ``graph_mixing_time``) and
   :func:`~repro.engine.batch.batched_local_mixing_profiles` (deviation
@@ -41,7 +49,10 @@ from repro.engine.propagator import (
     set_propagator_cache_maxsize,
     shared_spectral_propagator,
 )
-from repro.engine.oracle import BatchedUniformDeviationOracle
+from repro.engine.oracle import (
+    BatchedDegreeDeviationOracle,
+    BatchedUniformDeviationOracle,
+)
 from repro.engine.batch import (
     batched_local_mixing_profiles,
     batched_local_mixing_times,
@@ -56,6 +67,7 @@ __all__ = [
     "clear_propagator_cache",
     "set_propagator_cache_maxsize",
     "propagator_cache_info",
+    "BatchedDegreeDeviationOracle",
     "BatchedUniformDeviationOracle",
     "batched_local_mixing_times",
     "batched_local_mixing_spectra",

@@ -7,20 +7,30 @@ would produce — same ``time``, ``set_size``, bitwise-equal ``deviation`` and
 same bookkeeping counters.  Exactness is preserved by a two-phase check per
 ``(t, R)`` grid point:
 
-1. the :class:`~repro.engine.oracle.BatchedUniformDeviationOracle` bounds
-   every live column's best deviation in ``O(k log n)``;
-2. only columns whose bound falls below ``threshold · (1 + 1e-9)`` are
-   re-examined with the exact single-source
-   :class:`~repro.walks.local_mixing.UniformDeviationOracle`, whose verdict
-   (and reported deviation) is what the per-source loop computes.  The fast
-   bound is evaluated with identical arithmetic at a true window start, so
-   it can exceed the exact scan minimum only by floating-point tie noise —
-   orders of magnitude below the ``1e-9`` relative slack — and a source can
-   therefore never stop earlier or later than its per-source run.
+1. a fast batched prefilter bounds every live column's best deviation from
+   below — the default is one fused, search-free
+   :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
+   call per step covering the entire ``(R, column)`` grid in ``O(1)`` per
+   pair (``prefilter="per_size"`` keeps the per-``R`` ``O(k log n)``
+   bracket search as a reference);
+2. only ``(R, column)`` pairs whose bound falls below
+   ``threshold · (1 + 1e-9)`` are re-examined with the exact single-source
+   arithmetic (:class:`~repro.walks.local_mixing.UniformDeviationOracle` /
+   ``_degree_target_best``), whose verdict — and reported deviation — is
+   what the per-source loop computes.  A lower bound can over-flag but
+   never under-flag, and the bracket prefilter can exceed the exact scan
+   minimum only by floating-point tie noise — orders of magnitude below the
+   ``1e-9`` relative slack — so a source can never stop earlier or later
+   than its per-source run.
 
-Knobs the batch path does not cover (``require_source=True``, the
-``"degree"`` target) fall back to the per-source functions transparently, so
-callers can route every multi-source query through this module.
+The drivers cover the **full** knob space of the per-source functions:
+``require_source=True`` is handled in-block (the unconstrained lower bound
+is also valid for the source-pinned minimum, and flagged pairs are decided
+by the exact constrained oracle on the column), and ``target="degree"``
+runs on the bitwise-equal vectorized transcript of the per-source
+fixed-point heuristic
+(:class:`~repro.engine.oracle.BatchedDegreeDeviationOracle`).  Nothing
+falls back to a per-source trajectory loop.
 """
 
 from __future__ import annotations
@@ -33,7 +43,10 @@ import numpy as np
 from repro.constants import DEFAULT_EPS
 from repro.errors import ConvergenceError
 from repro.graphs.base import Graph
-from repro.engine.oracle import BatchedUniformDeviationOracle
+from repro.engine.oracle import (
+    BatchedDegreeDeviationOracle,
+    BatchedUniformDeviationOracle,
+)
 from repro.engine.propagator import BlockPropagator, block_distribution_at
 
 __all__ = [
@@ -46,6 +59,21 @@ __all__ = [
 #: Relative slack above the stopping threshold under which a fast bound is
 #: re-verified with the exact oracle (covers floating-point tie noise).
 _VERIFY_SLACK = 1e-9
+
+
+def _exact_best_sum(z: np.ndarray, pre: np.ndarray, R: int) -> float:
+    """``min_{|S|=R} Σ|p − 1/R|`` for one sorted column ``z`` with prefix
+    sums ``pre`` — a transcript of
+    :meth:`~repro.walks.local_mixing.UniformDeviationOracle.best_sum`
+    (the shared :func:`~repro.walks.local_mixing.window_deviation_sums`
+    formula plus the same ``argmin``), fed from the batched oracle's
+    column-sorted block instead of a fresh per-column ``argsort``/``cumsum``
+    (both produce bitwise-identical arrays, so the value is too)."""
+    from repro.walks.local_mixing import window_deviation_sums
+
+    starts = np.arange(z.size - R + 1)
+    sums = window_deviation_sums(z, pre, R, 1.0 / R, starts)
+    return float(sums[int(np.argmin(sums))])
 
 
 def _normalize_sources(g: Graph, sources) -> list[int]:
@@ -80,11 +108,17 @@ def batched_local_mixing_times(
     target: str = "uniform",
     method: str = "iterative",
     batch_size: int | None = None,
+    prefilter: str = "fused",
 ) -> list["LocalMixingResult"]:
     """``τ_s(β,ε)`` for every source in ``sources`` (default: all nodes).
 
     Accepts the same semantics knobs as
-    :func:`~repro.walks.local_mixing.local_mixing_time` plus:
+    :func:`~repro.walks.local_mixing.local_mixing_time` — including
+    ``require_source=True`` (each source pinned inside its witness set,
+    decided by the exact constrained oracle on the shared block) and
+    ``target="degree"`` (the irregular-graph degree-proportional target,
+    evaluated by the bitwise-equal batched transcript of the per-source
+    fixed-point heuristic) — plus:
 
     method:
         ``"iterative"`` (default) advances the block one sparse mat-mat per
@@ -98,37 +132,34 @@ def batched_local_mixing_times(
     batch_size:
         Maximum number of source columns propagated at once (memory control
         for large graphs).  Default: all sources in one block.
+    prefilter:
+        How uniform-target candidate ``(t, R)`` pairs are screened before
+        exact verification.  ``"fused"`` (default) uses one search-free
+        :meth:`~repro.engine.oracle.BatchedUniformDeviationOracle.deviation_lower_bounds`
+        call per step for the whole size grid (``O(1)`` per pair);
+        ``"per_size"`` keeps the per-``R`` ``O(k log n)`` bracket search
+        (the pre-fusion engine, retained as a benchmark baseline).  Both
+        produce identical results — every near-threshold hit is re-decided
+        by the exact per-source arithmetic either way.
 
-    Returns the results in ``sources`` order.
+    Returns the results in ``sources`` order; every result is identical —
+    same time, set size, bitwise-equal deviation and same bookkeeping
+    counters — to the corresponding per-source
+    :func:`~repro.walks.local_mixing.local_mixing_time` call (the
+    loop-equivalence guarantee; ``engine="loop"`` call sites are the
+    reference this is tested against).
     """
-    from repro.walks.local_mixing import local_mixing_time
-
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0,1)")
     if beta < 1:
         raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
     if method not in ("iterative", "spectral"):
         raise ValueError(f"unknown method {method!r}")
+    if target not in ("uniform", "degree"):
+        raise ValueError(f"unknown target {target!r}")
+    if prefilter not in ("fused", "per_size"):
+        raise ValueError(f"unknown prefilter {prefilter!r}")
     src = _normalize_sources(g, sources)
-    if require_source or target != "uniform":
-        # Constrained / degree-target queries keep the per-source semantics.
-        return [
-            local_mixing_time(
-                g,
-                s,
-                beta,
-                eps,
-                sizes=sizes,
-                threshold_factor=threshold_factor,
-                grid_factor=grid_factor,
-                t_schedule=t_schedule,
-                t_max=t_max,
-                lazy=lazy,
-                require_source=require_source,
-                target=target,
-            )
-            for s in src
-        ]
     from repro.walks.local_mixing import _candidate_sizes, _resolve_walk_bounds
 
     t_max = _resolve_walk_bounds(g, lazy, t_max)
@@ -145,7 +176,17 @@ def batched_local_mixing_times(
     for lo in range(0, len(src), batch_size):
         chunk = src[lo : lo + batch_size]
         for pos, res in _solve_chunk(
-            g, chunk, candidates, threshold, t_schedule, t_max, lazy, method
+            g,
+            chunk,
+            candidates,
+            threshold,
+            t_schedule,
+            t_max,
+            lazy,
+            method,
+            target=target,
+            require_source=require_source,
+            prefilter=prefilter,
         ):
             results[lo + pos] = res
     missing = [src[i] for i, r in enumerate(results) if r is None]
@@ -168,17 +209,33 @@ def _solve_chunk(
     t_max: int,
     lazy: bool,
     method: str,
+    *,
+    target: str = "uniform",
+    require_source: bool = False,
+    prefilter: str = "fused",
 ):
-    """Yield ``(position_in_chunk, LocalMixingResult)`` as sources resolve."""
+    """Yield ``(position_in_chunk, LocalMixingResult)`` as sources resolve.
+
+    Per scheduled step: one batched prefilter over the whole
+    ``(R, live column)`` grid (a valid lower bound for every target /
+    constraint combination — the fused D1-style
+    ``deviation_lower_bounds`` kernel by default), then exact per-source
+    verification of the flagged pairs in ascending-``R`` order, so the
+    first verified hit per column is exactly the per-source loop's stopping
+    point and every counter reconstructs the loop's bookkeeping.
+    """
     from repro.walks.local_mixing import (
         LocalMixingResult,
         UniformDeviationOracle,
+        _degree_target_best,
         _t_iter,
     )
 
     cutoff = threshold * (1.0 + _VERIFY_SLACK)
     n_cand = len(candidates)
-    inv_r = np.array([1.0 / R for R in candidates])
+    Rs = np.asarray(candidates, dtype=np.int64)
+    inv_r = 1.0 / Rs
+    degrees = g.degrees.astype(np.float64) if target == "degree" else None
     col_pos = np.arange(len(chunk))  # chunk position per live column
     prop = None
     if method == "iterative":
@@ -192,23 +249,52 @@ def _solve_chunk(
             P = block_distribution_at(
                 g, [chunk[i] for i in col_pos], t, lazy=lazy
             )
-        oracle = BatchedUniformDeviationOracle(P)
-        k0_all = oracle.split_points(inv_r)
-        unresolved = np.ones(P.shape[1], dtype=bool)
+        live_nodes = [chunk[int(i)] for i in col_pos]
+        oracle = None
+        if target == "degree":
+            doracle = BatchedDegreeDeviationOracle(
+                P, degrees, sources=live_nodes
+            )
+            # The transcript values ARE the per-source heuristic values
+            # (bitwise), so they prefilter exactly; flagged pairs are still
+            # re-decided by the scalar reference below.
+            bounds = doracle.best_sums_grid(Rs, require_source=require_source)
+        else:
+            oracle = BatchedUniformDeviationOracle(P)
+            k0_all = oracle.split_points(inv_r)
+            if prefilter == "fused":
+                # One search-free kernel call for the whole (R, column)
+                # grid; valid for the constrained minimum too (pinning the
+                # source can only increase it).
+                bounds = oracle.deviation_lower_bounds(Rs, k0=k0_all)
+            else:
+                bounds = np.empty((n_cand, P.shape[1]), dtype=np.float64)
+                for r_idx in range(n_cand):
+                    bounds[r_idx], _ = oracle.best_sums(
+                        int(Rs[r_idx]), k0=k0_all[r_idx]
+                    )
+        hits = bounds < cutoff
         exact: dict[int, UniformDeviationOracle] = {}
-        for r_idx, R in enumerate(candidates):
-            if not unresolved.any():
-                break
-            sums, _ = oracle.best_sums(R, k0=k0_all[r_idx])
-            for col in np.flatnonzero(unresolved & (sums < cutoff)):
-                col = int(col)
-                uo = exact.get(col)
-                if uo is None:
-                    uo = UniformDeviationOracle(P[:, col])
-                    exact[col] = uo
-                s_exact, _ = uo.best_sum(R)
+        resolved: list[int] = []
+        for col in map(int, np.flatnonzero(hits.any(axis=0))):
+            node = int(live_nodes[col])
+            for r_idx in map(int, np.flatnonzero(hits[:, col])):
+                R = int(Rs[r_idx])
+                if target == "degree":
+                    s_exact = _degree_target_best(
+                        P[:, col], degrees, R, node, require_source
+                    )
+                elif require_source:
+                    uo = exact.get(col)
+                    if uo is None:
+                        uo = UniformDeviationOracle(P[:, col], source=node)
+                        exact[col] = uo
+                    s_exact, _ = uo.best_sum(R, require_source=True)
+                else:
+                    s_exact = _exact_best_sum(
+                        oracle.sorted[:, col], oracle.prefix[:, col], R
+                    )
                 if s_exact < threshold:
-                    unresolved[col] = False
                     yield int(col_pos[col]), LocalMixingResult(
                         time=t,
                         set_size=R,
@@ -217,8 +303,12 @@ def _solve_chunk(
                         steps_checked=steps,
                         sizes_checked=(steps - 1) * n_cand + r_idx + 1,
                     )
-        keep = np.flatnonzero(unresolved)
-        if keep.size < col_pos.size:
+                    resolved.append(col)
+                    break
+        if resolved:
+            keep = np.setdiff1d(
+                np.arange(P.shape[1]), np.asarray(resolved, dtype=np.int64)
+            )
             col_pos = col_pos[keep]
             if prop is not None:
                 prop.drop_columns(keep)
@@ -233,6 +323,7 @@ def batched_local_mixing_profiles(
     grid_factor: float = DEFAULT_EPS,
     t_max: int = 100,
     lazy: bool = False,
+    require_source: bool = False,
 ) -> np.ndarray:
     """The best achievable deviation ``min_R min_S Σ|p_t − 1/R|`` for every
     source at every ``t = 0..t_max``, as a ``(k, t_max + 1)`` array.
@@ -246,10 +337,14 @@ def batched_local_mixing_profiles(
     single-source scan (the shared
     :func:`~repro.walks.local_mixing.window_deviation_sums` formula plus
     ``argmin`` — profile *values* feed plots and fits, so no
-    threshold-verification shortcut applies).
+    threshold-verification shortcut applies).  With ``require_source=True``
+    each column's minimum comes from the exact constrained single-source
+    oracle (window-through-the-source-slot vs punctured-window
+    decomposition) evaluated on the shared block column.
     """
     from repro.engine.oracle import BatchedUniformDeviationOracle
     from repro.walks.local_mixing import (
+        UniformDeviationOracle,
         _candidate_sizes,
         window_deviation_sums,
     )
@@ -261,6 +356,14 @@ def batched_local_mixing_profiles(
     prop = BlockPropagator(g, src, lazy=lazy)
     for t in range(t_max + 1):
         P = prop.advance_to(t)
+        if require_source:
+            for j, s in enumerate(src):
+                uo = UniformDeviationOracle(P[:, j], source=s)
+                out[j, t] = min(
+                    uo.best_sum(R, require_source=True)[0]
+                    for R in candidates
+                )
+            continue
         oracle = BatchedUniformDeviationOracle(P)
         for j in range(len(src)):
             z = oracle.sorted[:, j]
@@ -420,12 +523,14 @@ def batched_local_mixing_spectra(
     ``min_{|S|=R} Σ|p_t − 1/R| < ε`` — one shared block trajectory instead
     of one :func:`~repro.walks.local_mixing.local_mixing_spectrum` run per
     source.  Results (in ``sources`` order) match the single-source function
-    exactly; sizes that never mix within ``t_max`` map to ``math.inf``.
+    exactly for every knob, including ``require_source=True`` (screened by
+    the unconstrained fused lower bounds — valid for the pinned minimum too
+    — and decided by the exact constrained oracle on the column); sizes
+    that never mix within ``t_max`` map to ``math.inf``.
     """
     from repro.walks.local_mixing import (
         UniformDeviationOracle,
         _resolve_walk_bounds,
-        local_mixing_spectrum,
         size_grid,
     )
 
@@ -434,20 +539,6 @@ def batched_local_mixing_spectra(
     if method not in ("iterative", "spectral"):
         raise ValueError(f"unknown method {method!r}")
     src = _normalize_sources(g, sources)
-    if require_source:
-        return [
-            local_mixing_spectrum(
-                g,
-                s,
-                eps,
-                sizes=sizes,
-                grid_factor=grid_factor,
-                t_max=t_max,
-                lazy=lazy,
-                require_source=True,
-            )
-            for s in src
-        ]
     t_max = _resolve_walk_bounds(g, lazy, t_max)
     if sizes is None:
         sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
@@ -457,7 +548,8 @@ def batched_local_mixing_spectra(
             raise ValueError("sizes out of range")
 
     cutoff = eps * (1.0 + _VERIFY_SLACK)
-    inv_r = np.array([1.0 / R for R in sizes])
+    Rs = np.asarray(sizes, dtype=np.int64)
+    inv_r = 1.0 / Rs
     out: list[dict[int, int | float]] = [{} for _ in src]
     col_pos = np.arange(len(src))
     # unresolved[c, r]: column c has not yet mixed at sizes[r].
@@ -474,19 +566,21 @@ def batched_local_mixing_spectra(
             )
         oracle = BatchedUniformDeviationOracle(P)
         k0_all = oracle.split_points(inv_r)
+        bounds = oracle.deviation_lower_bounds(Rs, k0=k0_all)
         exact: dict[int, UniformDeviationOracle] = {}
         live = unresolved[col_pos]
-        for r_idx, R in enumerate(sizes):
-            if not live[:, r_idx].any():
-                continue
-            sums, _ = oracle.best_sums(R, k0=k0_all[r_idx])
-            for col in np.flatnonzero(live[:, r_idx] & (sums < cutoff)):
-                col = int(col)
-                uo = exact.get(col)
-                if uo is None:
-                    uo = UniformDeviationOracle(P[:, col])
-                    exact[col] = uo
-                s_exact, _ = uo.best_sum(R)
+        hits = live.T & (bounds < cutoff)
+        for col in map(int, np.flatnonzero(hits.any(axis=0))):
+            uo = exact.get(col)
+            if uo is None:
+                uo = UniformDeviationOracle(
+                    P[:, col],
+                    source=int(src[int(col_pos[col])]) if require_source else None,
+                )
+                exact[col] = uo
+            for r_idx in map(int, np.flatnonzero(hits[:, col])):
+                R = int(Rs[r_idx])
+                s_exact, _ = uo.best_sum(R, require_source=require_source)
                 if s_exact < eps:
                     pos = int(col_pos[col])
                     out[pos][R] = t

@@ -299,7 +299,11 @@ def local_mixing_time(
         ``"uniform"`` — Algorithm 2's check ``Σ|p(u) − 1/R| < threshold``
         (exact Definition 2 on regular graphs).  ``"degree"`` — a
         degree-aware fixed-point heuristic for irregular graphs that
-        targets ``π_S(v) = d(v)/µ(S)`` (documented deviation; DESIGN.md §2.3).
+        targets ``π_S(v) = d(v)/µ(S)`` (a documented deviation from the
+        paper's regular-graph setting; see docs/paper_map.md).  Both
+        targets are equally supported by the batched engine
+        (:func:`~repro.engine.batch.batched_local_mixing_times`), whose
+        per-source results are identical to this loop.
     """
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0,1)")
@@ -372,7 +376,10 @@ def _degree_target_best(
     minimizing ``Σ_{v∈S} |p(v) − d(v)/µ(S)|`` where ``µ(S)`` depends on S.
 
     Start from the mean-degree volume guess, select the R smallest residuals
-    by ``argpartition``, recompute µ(S), repeat.  Exact when the graph is
+    (stable argsort, so exact ties break deterministically by node id — the
+    batched transcript in
+    :class:`~repro.engine.oracle.BatchedDegreeDeviationOracle` reproduces
+    the selection bitwise), recompute µ(S), repeat.  Exact when the graph is
     regular (then it reduces to the uniform window).
     """
     mu = R * float(degrees.mean())
@@ -382,7 +389,7 @@ def _degree_target_best(
         if require_source:
             resid = resid.copy()
             resid[source] = -1.0  # force inclusion
-        idx = np.argpartition(resid, R - 1)[:R]
+        idx = np.argsort(resid, kind="stable")[:R]
         mu_new = float(degrees[idx].sum())
         val = float(np.abs(p[idx] - degrees[idx] / mu_new).sum())
         best = min(best, val)
@@ -408,8 +415,10 @@ def graph_local_mixing_time(
     By default the sources are solved together on the batched multi-source
     engine (:mod:`repro.engine`): one block trajectory and one batched
     deviation oracle replace the per-source loop, with identical per-source
-    outputs.  ``engine="loop"`` forces the original per-source loop (the
-    reference the engine is validated against)."""
+    outputs for every knob combination — ``target="degree"`` and
+    ``require_source=True`` included.  ``engine="loop"`` forces the
+    original per-source loop (the reference the engine is validated
+    against)."""
     if engine not in ("batch", "loop"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "batch":
@@ -443,31 +452,23 @@ def local_mixing_profile(
 
     Runs on the batched engine
     (:func:`repro.engine.batched_local_mixing_profiles` with a single
-    column, bitwise identical to the trajectory loop); the engine does not
-    cover the source-containment constraint, so ``require_source=True``
-    keeps the per-source path.
+    column, bitwise identical to the trajectory loop) for every knob
+    combination, including the source-containment constraint
+    (``require_source=True``), which the engine evaluates with the exact
+    constrained single-source arithmetic on the shared block trajectory.
     """
-    if not require_source:
-        from repro.engine import batched_local_mixing_profiles
+    from repro.engine import batched_local_mixing_profiles
 
-        return batched_local_mixing_profiles(
-            g,
-            beta,
-            sources=[source],
-            sizes=sizes,
-            grid_factor=grid_factor,
-            t_max=t_max,
-            lazy=lazy,
-        )[0]
-    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
-    out = np.empty(t_max + 1, dtype=np.float64)
-    for t, p in distribution_trajectory(g, source, lazy=lazy, t_max=t_max):
-        oracle = UniformDeviationOracle(p, source=source)
-        out[t] = min(
-            oracle.best_sum(R, require_source=require_source)[0]
-            for R in candidates
-        )
-    return out
+    return batched_local_mixing_profiles(
+        g,
+        beta,
+        sources=[source],
+        sizes=sizes,
+        grid_factor=grid_factor,
+        t_max=t_max,
+        lazy=lazy,
+        require_source=require_source,
+    )[0]
 
 
 def local_mixing_spectrum(

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Docs gate: intra-repo links, public-API docstring coverage, quickstart.
+
+Three checks, all dependency-free (stdlib + the library itself):
+
+1. **Links** — every relative link/image target in the repo's Markdown
+   files must exist (external ``http(s)``/``mailto`` targets are skipped,
+   ``#fragment`` parts are ignored).
+2. **Docstrings** — every public module / class / function / method
+   defined under ``repro.engine`` and ``repro.dynamic`` must carry a
+   non-trivial docstring (the ``interrogate --fail-under 100`` contract,
+   implemented with ``inspect`` so the offline image needs no extra
+   package).
+3. **Quickstart** — the first ``python`` code block of README.md is
+   executed; a broken quickstart fails the gate.
+
+Run from the repository root::
+
+    python tools/check_docs.py            # all checks
+    python tools/check_docs.py links docstrings   # a subset
+
+Exit status 0 iff every requested check passes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are validated.
+MARKDOWN_GLOBS = ["*.md", "docs/*.md"]
+
+#: Packages whose public APIs must be fully documented.
+DOCSTRING_PACKAGES = ["repro.engine", "repro.dynamic"]
+
+#: Minimum docstring length to count as documentation, not a placeholder.
+MIN_DOCSTRING = 10
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_markdown_files():
+    for pattern in MARKDOWN_GLOBS:
+        yield from sorted(ROOT.glob(pattern))
+
+
+def check_links() -> list[str]:
+    """Return a list of 'file: broken-target' problems."""
+    problems = []
+    for md in iter_markdown_files():
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks: link syntax inside code is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def _public_members(module):
+    """Yield (qualified name, object) for the module's public API."""
+    mod_name = module.__name__
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != mod_name:
+            continue  # re-export; documented at its definition site
+        yield f"{mod_name}.{name}", obj
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if inspect.isfunction(member) or isinstance(
+                    member, (property, classmethod, staticmethod)
+                ):
+                    yield f"{mod_name}.{name}.{mname}", member
+
+
+def _has_docstring(obj) -> bool:
+    if isinstance(obj, (classmethod, staticmethod)):
+        obj = obj.__func__
+    if isinstance(obj, property):
+        obj = obj.fget
+    doc = inspect.getdoc(obj)
+    return doc is not None and len(doc.strip()) >= MIN_DOCSTRING
+
+
+def check_docstrings() -> list[str]:
+    """Return a list of undocumented public API members."""
+    import importlib
+    import pkgutil
+
+    problems = []
+    for pkg_name in DOCSTRING_PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        modules = [pkg]
+        for info in pkgutil.iter_modules(pkg.__path__):
+            if not info.name.startswith("_"):
+                modules.append(
+                    importlib.import_module(f"{pkg_name}.{info.name}")
+                )
+        for module in modules:
+            if not _has_docstring(module):
+                problems.append(f"{module.__name__}: missing module docstring")
+            for qual, obj in _public_members(module):
+                if not _has_docstring(obj):
+                    problems.append(f"{qual}: missing docstring")
+    return problems
+
+
+def check_quickstart() -> list[str]:
+    """Execute README.md's first ``python`` code block."""
+    readme = ROOT / "README.md"
+    match = re.search(r"```python\n(.*?)```", readme.read_text(), flags=re.S)
+    if match is None:
+        return ["README.md: no ```python quickstart block found"]
+    code = match.group(1)
+    try:
+        exec(compile(code, "README.md:quickstart", "exec"), {"__name__": "__quickstart__"})
+    except Exception as exc:  # pragma: no cover - failure path
+        return [f"README.md quickstart raised {type(exc).__name__}: {exc}"]
+    return []
+
+
+CHECKS = {
+    "links": check_links,
+    "docstrings": check_docstrings,
+    "quickstart": check_quickstart,
+}
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    names = argv or list(CHECKS)
+    unknown = [n for n in names if n not in CHECKS]
+    if unknown:
+        print(f"unknown checks: {unknown}; available: {sorted(CHECKS)}")
+        return 2
+    failed = False
+    for name in names:
+        problems = CHECKS[name]()
+        status = "ok" if not problems else f"{len(problems)} problem(s)"
+        print(f"[{name}] {status}")
+        for p in problems:
+            print(f"  - {p}")
+        failed = failed or bool(problems)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
