@@ -1,0 +1,93 @@
+"""S1 — the sharded parallel executor vs the serial batched engine.
+
+Claims (parallel subsystem):
+
+1. ``parallel_local_mixing_times(..., n_workers=W)`` returns results
+   **identical** — same τ, set sizes, bitwise-equal deviations, same
+   bookkeeping counters — to the serial ``batched_local_mixing_times`` on
+   the all-sources workload, for every tested worker count;
+2. each worker propagates only its own contiguous source shard, so the
+   peak dense-block footprint per process drops from ``n × k`` to
+   ``n × ⌈k/W⌉`` (reported in the table — it is a structural property of
+   the sharding, not a measurement);
+3. on a machine with ≥ 4 usable cores, 4 workers give ≥ 2× wall-clock on
+   the 1200-node all-sources workload.  The speedup assertion is gated on
+   the *schedulable* core count (CPU affinity where the OS exposes it, so
+   a cgroup-limited container doesn't assert speedups its quota forbids)
+   and skipped in quick mode: a single-core CI runner cannot express
+   parallelism, but the identity claims still run there.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the instance
+and asserts exactness plus clean teardown only.
+"""
+
+import os
+import time
+
+from repro.engine import batched_local_mixing_times
+from repro.graphs import random_regular
+from repro.parallel import ShardExecutor, parallel_local_mixing_times
+from repro.utils import format_table
+
+BETA = 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_compare(n: int, d: int, seed: int = 1):
+    g = random_regular(n, d, seed=seed)
+    t0 = time.perf_counter()
+    serial = batched_local_mixing_times(g, BETA)
+    t_serial = time.perf_counter() - t0
+    rows = []
+    results = {}
+    for w in WORKER_COUNTS:
+        with ShardExecutor(w) as ex:
+            # Warm the pool (worker spawn is setup, not solve time).
+            parallel_local_mixing_times(g, BETA, sources=[0], executor=ex)
+            t0 = time.perf_counter()
+            results[w] = parallel_local_mixing_times(g, BETA, executor=ex)
+            rows.append((w, time.perf_counter() - t0))
+    return g, serial, results, t_serial, rows
+
+
+def test_s1_sharded_engine(record_table, quick_mode):
+    n, d = (120, 6) if quick_mode else (1200, 8)
+    g, serial, results, t_serial, rows = run_compare(n, d)
+
+    # Identity at every worker count (LocalMixingResult equality covers
+    # time, set_size, bitwise deviation, threshold and both counters).
+    for w, res in results.items():
+        assert res == serial, f"W={w} diverged from the serial engine"
+
+    if hasattr(os, "sched_getaffinity"):
+        cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - macOS/Windows
+        cores = os.cpu_count() or 1
+    block_mb = lambda k: n * k * 8 / 2**20  # noqa: E731 - table helper
+    table_rows = [
+        ["serial", f"{t_serial:.2f}", "1.00x", f"{block_mb(g.n):.1f}"]
+    ]
+    for w, t_w in rows:
+        shard = -(-g.n // w)  # ceil(k / W): the per-worker block height
+        table_rows.append(
+            [f"W={w}", f"{t_w:.2f}", f"{t_serial / t_w:.2f}x",
+             f"{block_mb(shard):.1f}"]
+        )
+        if not quick_mode and w == 4 and cores >= 4:
+            assert t_serial / t_w >= 2.0, (
+                f"4-worker speedup {t_serial / t_w:.2f}x below the 2x "
+                f"target on {cores} cores (serial {t_serial:.2f}s, "
+                f"W=4 {t_w:.2f}s)"
+            )
+
+    table = format_table(
+        ["config", "wall s", "speedup", "peak block MiB/proc"],
+        table_rows,
+        title=(
+            f"S1: sharded parallel engine vs serial batch — all {g.n} "
+            f"sources of a {n}-node {d}-regular graph, tau(beta={BETA}) "
+            f"(identical per-source results asserted at every W; "
+            f"host cores: {cores})"
+        ),
+    )
+    record_table("s1_sharded_engine", table)

@@ -13,6 +13,11 @@ The package provides, bottom-up:
   trajectories (one sparse mat-mat per step for all sources), batched
   deviation oracles (grid kernels + search-free lower bounds) behind
   ``τ(β,ε) = max_v τ_v(β,ε)``, and a controllable shared spectral cache.
+* :mod:`repro.parallel` — sharded multi-core execution: the graph's CSR
+  arrays in shared memory, a persistent
+  :class:`~repro.parallel.ShardExecutor` worker pool, and parallel front
+  doors whose results are identical to the serial engine at any worker
+  count (plus :func:`~repro.parallel.shard_map` for per-source sweeps).
 * :mod:`repro.dynamic` — dynamic networks: a mutable
   :class:`~repro.dynamic.graph.DynamicGraph` overlay with structurally
   memoized snapshots, update-schedule generators (edge-Markovian churn,
@@ -90,6 +95,13 @@ from repro.engine import (
     propagator_cache_info,
     set_propagator_cache_maxsize,
 )
+from repro.parallel import (
+    ShardExecutor,
+    parallel_local_mixing_profiles,
+    parallel_local_mixing_spectra,
+    parallel_local_mixing_times,
+    shard_map,
+)
 from repro.dynamic import (
     DynamicGraph,
     GraphUpdate,
@@ -156,6 +168,12 @@ __all__ = [
     "clear_propagator_cache",
     "set_propagator_cache_maxsize",
     "propagator_cache_info",
+    # parallel (sharded multi-core)
+    "ShardExecutor",
+    "parallel_local_mixing_times",
+    "parallel_local_mixing_spectra",
+    "parallel_local_mixing_profiles",
+    "shard_map",
     # dynamic networks
     "DynamicGraph",
     "GraphUpdate",

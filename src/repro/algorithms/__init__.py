@@ -17,11 +17,13 @@
 
 from repro.algorithms.estimate_rw_probability import (
     FloodingEstimator,
+    estimate_rw_probabilities,
     estimate_rw_probability,
 )
 from repro.algorithms.local_mixing_time import (
     CongestLocalMixingResult,
     local_mixing_time_congest,
+    local_mixing_times_congest,
 )
 from repro.algorithms.exact_local_mixing import exact_local_mixing_time_congest
 from repro.algorithms.graph_local_mixing import (
@@ -38,8 +40,10 @@ from repro.algorithms.spectral_kempe import KempeEstimate, spectral_mixing_kempe
 __all__ = [
     "FloodingEstimator",
     "estimate_rw_probability",
+    "estimate_rw_probabilities",
     "CongestLocalMixingResult",
     "local_mixing_time_congest",
+    "local_mixing_times_congest",
     "exact_local_mixing_time_congest",
     "GraphLocalMixingResult",
     "graph_local_mixing_time_congest",

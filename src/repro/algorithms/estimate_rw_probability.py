@@ -34,7 +34,11 @@ from repro.congest.network import CongestNetwork
 from repro.constants import DEFAULT_C
 from repro.spectral.transition import walk_operator
 
-__all__ = ["FloodingEstimator", "estimate_rw_probability"]
+__all__ = [
+    "FloodingEstimator",
+    "estimate_rw_probability",
+    "estimate_rw_probabilities",
+]
 
 
 class _FloodProgram(NodeProgram):
@@ -175,3 +179,54 @@ def estimate_rw_probability(
     """One-shot Algorithm 1: the estimated ``p̃_ℓ`` after ``length`` rounds."""
     est = FloodingEstimator(net, source, c=c, phase=phase)
     return est.run(length)
+
+
+def _estimate_task(g, payload: tuple) -> np.ndarray:
+    """Worker task: one per-source Algorithm-1 run on its own fresh
+    :class:`CongestNetwork` over the shared-memory graph."""
+    source, length, c, bandwidth_factor, mode = payload
+    net = CongestNetwork(g, bandwidth_factor=bandwidth_factor, mode=mode)
+    return estimate_rw_probability(net, source, length, c=c)
+
+
+def estimate_rw_probabilities(
+    g,
+    sources,
+    length: int,
+    *,
+    c: int = DEFAULT_C,
+    bandwidth_factor: int = 16,
+    mode: str = "fast",
+    n_workers: int | None = None,
+    executor=None,
+) -> np.ndarray:
+    """Algorithm 1 from many sources: the ``(k, n)`` block of estimates
+    ``p̃_ℓ`` (row ``j`` = source ``sources[j]``).
+
+    Each source is an independent CONGEST execution (the paper's
+    multi-source phases run concurrently; here each run gets its own
+    fresh :class:`CongestNetwork` and ledger over the same topology).
+    With ``n_workers``/``executor`` the per-source runs fan out through
+    :func:`~repro.parallel.shard_map` with the graph published to shared
+    memory once; Algorithm 1 is deterministic, so the block is identical
+    at any worker count — and to the serial loop.
+    """
+    from repro.engine.batch import _normalize_sources
+
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    src = _normalize_sources(g, sources)
+    payloads = [(s, length, c, bandwidth_factor, mode) for s in src]
+    if n_workers is None and executor is None:
+        rows = [_estimate_task(g, p) for p in payloads]
+    else:
+        from repro.parallel import shard_map
+
+        rows = shard_map(
+            _estimate_task,
+            payloads,
+            graph=g,
+            n_workers=n_workers,
+            executor=executor,
+        )
+    return np.vstack(rows)

@@ -37,7 +37,11 @@ from repro.errors import ConvergenceError, ProtocolError
 from repro.utils.seeding import as_rng
 from repro.walks.local_mixing import size_grid
 
-__all__ = ["CongestLocalMixingResult", "local_mixing_time_congest"]
+__all__ = [
+    "CongestLocalMixingResult",
+    "local_mixing_time_congest",
+    "local_mixing_times_congest",
+]
 
 
 @dataclass(frozen=True)
@@ -191,4 +195,78 @@ def local_mixing_time_congest(
         ell *= 2
     raise ConvergenceError(
         f"Algorithm 2 did not stop by t_max={t_max}", last_length=ell // 2
+    )
+
+
+def _congest_tau_task(g, payload: tuple) -> CongestLocalMixingResult:
+    """Worker task: one per-source Algorithm-2 run on a fresh network over
+    the shared-memory graph, seeded from its pre-spawned child sequence."""
+    source, child_seq, beta, eps, c, grid_factor, t_max, bw = payload
+    net = CongestNetwork(g, bandwidth_factor=bw)
+    return local_mixing_time_congest(
+        net,
+        source,
+        beta,
+        eps,
+        c=c,
+        grid_factor=grid_factor,
+        seed=np.random.default_rng(child_seq),
+        t_max=t_max,
+    )
+
+
+def local_mixing_times_congest(
+    g,
+    sources,
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    c: int = DEFAULT_C,
+    grid_factor: float | None = None,
+    seed=None,
+    t_max: int | None = None,
+    bandwidth_factor: int = 16,
+    n_workers: int | None = None,
+    executor=None,
+) -> list[CongestLocalMixingResult]:
+    """Algorithm 2 from many sources — the Monte-Carlo estimator sweep,
+    reproducible at any worker count.
+
+    Each source runs :func:`local_mixing_time_congest` on its own fresh
+    :class:`~repro.congest.network.CongestNetwork` (so per-run ledgers
+    don't interleave).  The tie-breaking randomness is derived **per
+    source, before sharding**: one ``numpy.random.SeedSequence`` child is
+    spawned per source from ``seed``, so source ``j`` consumes exactly the
+    same stream whether the sweep runs serially, on 2 workers, or on 8 —
+    the per-shard results (and hence the whole sweep) are identical for
+    every worker count.  With ``n_workers``/``executor`` the runs fan out
+    through :func:`~repro.parallel.shard_map` over the shared-memory
+    topology.
+
+    ``seed`` may be an ``int``, ``None`` (fresh entropy — reproducible
+    only within this call) or a ``numpy.random.SeedSequence``.
+    """
+    from repro.engine.batch import _normalize_sources
+
+    src = _normalize_sources(g, sources)
+    seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = seq.spawn(len(src))
+    payloads = [
+        (s, child, beta, eps, c, grid_factor, t_max, bandwidth_factor)
+        for s, child in zip(src, children)
+    ]
+    if n_workers is None and executor is None:
+        return [_congest_tau_task(g, p) for p in payloads]
+    from repro.parallel import shard_map
+
+    return shard_map(
+        _congest_tau_task,
+        payloads,
+        graph=g,
+        n_workers=n_workers,
+        executor=executor,
     )

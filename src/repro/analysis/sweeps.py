@@ -70,6 +70,22 @@ def measure_graph(
     return row
 
 
+def _measure_item(item: tuple) -> dict:
+    """Worker task for the parallel family sweep: one
+    :func:`measure_graph` call, unpacked from a picklable tuple."""
+    g, source, beta, eps, lazy, sizes, t_max, all_sources = item
+    return measure_graph(
+        g,
+        source,
+        beta,
+        eps,
+        lazy=lazy,
+        sizes=sizes,
+        t_max=t_max,
+        all_sources=all_sources,
+    )
+
+
 def family_sweep(
     family_key: str,
     ns: Sequence[int],
@@ -81,23 +97,31 @@ def family_sweep(
     sizes: str = "all",
     t_max: int | None = None,
     all_sources: bool = False,
+    n_workers: int | None = None,
+    executor=None,
 ) -> list[dict]:
-    """Measure a :class:`~repro.graphs.families.GraphFamily` across sizes."""
+    """Measure a :class:`~repro.graphs.families.GraphFamily` across sizes.
+
+    With ``n_workers``/``executor`` the per-graph measurements fan out
+    across a :class:`~repro.parallel.ShardExecutor` via
+    :func:`~repro.parallel.shard_map` — instances are built up-front in the
+    parent (so the RNG consumption, hence the graphs, match the serial
+    sweep exactly) and each worker measures whole instances.  Every row
+    equals the serial sweep's row: the measurements run on the batched
+    engine, whose results are process-independent.  (Each task ships its
+    own graph — the instances all differ, so there is no shared topology
+    to publish.)"""
     fam = get_family(family_key)
     rng = as_rng(seed)
-    rows = []
-    for n in ns:
-        g = fam.build(n, beta, rng)
-        rows.append(
-            measure_graph(
-                g,
-                source,
-                beta,
-                eps,
-                lazy=fam.lazy,
-                sizes=sizes,
-                t_max=t_max,
-                all_sources=all_sources,
-            )
-        )
-    return rows
+    graphs = [fam.build(n, beta, rng) for n in ns]
+    items = [
+        (g, source, beta, eps, fam.lazy, sizes, t_max, all_sources)
+        for g in graphs
+    ]
+    if n_workers is None and executor is None:
+        return [_measure_item(item) for item in items]
+    from repro.parallel import shard_map
+
+    return shard_map(
+        _measure_item, items, n_workers=n_workers, executor=executor
+    )

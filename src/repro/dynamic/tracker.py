@@ -54,6 +54,13 @@ not change the pruning argument for either target.
 Whenever an update breaks the assumptions (node join/leave changed ``n``,
 no prior snapshot, ``method="from_scratch"``), the tracker falls back to a
 full exact recomputation — so the identity guarantee holds unconditionally.
+
+With a :class:`~repro.parallel.ShardExecutor` attached (``executor=`` or
+``n_workers=``), the post-event dirty-source set is partitioned into
+contiguous shards and re-solved on the worker pool
+(:func:`~repro.parallel.parallel_local_mixing_times`); since every sharded
+per-source result is identical to the serial engine's, parallelism changes
+wall-clock only, never the trace.
 """
 
 from __future__ import annotations
@@ -159,6 +166,18 @@ class MixingTracker:
         against.
     memo_size:
         How many distinct solved structures to remember.
+    executor:
+        Optional :class:`~repro.parallel.ShardExecutor`: after each event
+        the dirty-source set (the sources locality pruning could not keep)
+        is partitioned into contiguous shards and re-solved on the worker
+        pool.  Sharding changes nothing about the results — every
+        per-source result is identical to the serial engine call (and so
+        to from-scratch recomputation), it only spreads the replay across
+        cores.  The executor is *not* owned: the caller closes it.
+    n_workers:
+        Convenience alternative to ``executor``: the tracker lazily creates
+        (and owns) a :class:`~repro.parallel.ShardExecutor` of this size;
+        call :meth:`close` to tear it down.
     """
 
     def __init__(
@@ -176,6 +195,8 @@ class MixingTracker:
         target: str = "uniform",
         method: str = "incremental",
         memo_size: int = 32,
+        executor=None,
+        n_workers: int | None = None,
     ):
         if not 0 < eps < 1:
             raise ValueError("eps must be in (0,1)")
@@ -199,6 +220,15 @@ class MixingTracker:
         self.target = target
         self.method = method
         self.memo_size = memo_size
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if executor is not None and n_workers is not None:
+            # An executor fixes both the pool and the shard count; a second
+            # knob would be silently ignored — reject instead.
+            raise ValueError("pass either executor or n_workers, not both")
+        self._executor = executor
+        self._owns_executor = False
+        self._n_workers = n_workers
         self._memo: OrderedDict[Graph, tuple] = OrderedDict()
         self._prev_graph: Graph | None = None
         self._prev_results: tuple | None = None
@@ -269,6 +299,24 @@ class MixingTracker:
             while len(self._memo) > self.memo_size:
                 self._memo.popitem(last=False)
 
+    def _get_executor(self):
+        """The sharding executor, lazily created when only ``n_workers``
+        was given (``None`` when the tracker runs serial)."""
+        if self._executor is None and self._n_workers is not None:
+            from repro.parallel import ShardExecutor
+
+            self._executor = ShardExecutor(self._n_workers)
+            self._owns_executor = True
+        return self._executor
+
+    def close(self) -> None:
+        """Tear down an executor the tracker created for itself
+        (a caller-supplied ``executor`` is left untouched)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
+
     def _solve_batch(self, g: Graph, sources: list[int] | None = None):
         """One engine call with the tracker's full knob set.
 
@@ -276,12 +324,12 @@ class MixingTracker:
         loop-equivalence guarantee (and, since the fused-kernel port, the
         search-free ``deviation_lower_bounds`` prefilter) for every target
         / constraint combination, so both tracker methods — and the partial
-        re-solves — share this single code path."""
-        return batched_local_mixing_times(
-            g,
-            self.beta,
-            self.eps,
-            sources=sources,
+        re-solves — share this single code path.  With an executor
+        configured, the source set (the post-event dirty set, for partial
+        re-solves) is partitioned into contiguous shards and solved on the
+        worker pool — per-source results are identical either way, so the
+        equivalence-to-from-scratch guarantee is untouched."""
+        knobs = dict(
             sizes=self.sizes,
             threshold_factor=self.threshold_factor,
             grid_factor=self.grid_factor,
@@ -290,6 +338,17 @@ class MixingTracker:
             lazy=self.lazy,
             require_source=self.require_source,
             target=self.target,
+        )
+        ex = self._get_executor()
+        k = g.n if sources is None else len(sources)
+        if ex is not None and k > 1:
+            from repro.parallel import parallel_local_mixing_times
+
+            return parallel_local_mixing_times(
+                g, self.beta, self.eps, sources=sources, executor=ex, **knobs
+            )
+        return batched_local_mixing_times(
+            g, self.beta, self.eps, sources=sources, **knobs
         )
 
     def _solve_full(self, g: Graph):
@@ -362,9 +421,14 @@ def track_local_mixing(
         dyn = DynamicGraph(dyn)
     tracker = MixingTracker(beta, eps, **tracker_kwargs)
     trace = TrackingTrace(tracker=tracker)
-    if include_initial:
-        trace.snapshots.append(tracker.observe(dyn.snapshot()))
-    for upd in updates:
-        dyn.apply(upd)
-        trace.snapshots.append(tracker.observe(dyn.snapshot(), update=upd))
+    try:
+        if include_initial:
+            trace.snapshots.append(tracker.observe(dyn.snapshot()))
+        for upd in updates:
+            dyn.apply(upd)
+            trace.snapshots.append(tracker.observe(dyn.snapshot(), update=upd))
+    finally:
+        # Only tears down a pool the tracker spawned for itself
+        # (n_workers=...); a caller-supplied executor stays open.
+        tracker.close()
     return trace

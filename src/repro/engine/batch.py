@@ -92,6 +92,111 @@ def _validate_schedule(schedule: str) -> None:
         raise ValueError(f"unknown t_schedule {schedule!r}")
 
 
+def _prepare_times_call(
+    g: Graph,
+    beta: float,
+    eps: float,
+    *,
+    sources,
+    sizes,
+    threshold_factor: float,
+    grid_factor: float | None,
+    t_schedule: str,
+    t_max: int | None,
+    lazy: bool,
+    target: str,
+    method: str,
+    batch_size: int | None,
+    prefilter: str,
+) -> tuple[list[int], list[int], int]:
+    """Shared fail-fast validation head of the multi-source τ drivers
+    (:func:`batched_local_mixing_times` and the sharded
+    :func:`~repro.parallel.parallel_local_mixing_times`).
+
+    Every knob — scalars, ``t_schedule``, ``batch_size`` and the ``sizes``
+    grid — is validated *before* sources are normalized or any candidate
+    structure is built, so a bad call fails fast with the same message from
+    every driver.  Returns ``(sources, candidate_sizes, t_max)``.
+    """
+    from repro.walks.local_mixing import _candidate_sizes, _resolve_walk_bounds
+
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    if beta < 1:
+        raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+    if threshold_factor <= 0:
+        raise ValueError("threshold_factor must be positive")
+    if method not in ("iterative", "spectral"):
+        raise ValueError(f"unknown method {method!r}")
+    if target not in ("uniform", "degree"):
+        raise ValueError(f"unknown target {target!r}")
+    if prefilter not in ("fused", "per_size"):
+        raise ValueError(f"unknown prefilter {prefilter!r}")
+    _validate_schedule(t_schedule)
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    grid_factor = eps if grid_factor is None else grid_factor
+    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    src = _normalize_sources(g, sources)
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
+    return src, candidates, t_max
+
+
+def _prepare_profiles_call(
+    g: Graph,
+    beta: float,
+    *,
+    sources,
+    sizes,
+    grid_factor: float,
+    t_max: int,
+) -> tuple[list[int], list[int]]:
+    """Fail-fast validation head of the profile drivers (batched and
+    parallel): ``beta``, the ``sizes`` grid and ``t_max`` are checked
+    before sources are normalized.  Returns ``(sources, candidate_sizes)``.
+    """
+    from repro.walks.local_mixing import _candidate_sizes
+
+    if beta < 1:
+        raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    if t_max < 0:
+        raise ValueError("t_max must be non-negative")
+    src = _normalize_sources(g, sources)
+    return src, candidates
+
+
+def _prepare_spectra_call(
+    g: Graph,
+    eps: float,
+    *,
+    sources,
+    sizes: list[int] | None,
+    grid_factor: float | None,
+    t_max: int | None,
+    lazy: bool,
+    method: str,
+) -> tuple[list[int], list[int], int]:
+    """Fail-fast validation head of the spectrum drivers (batched and
+    parallel): knobs — including the explicit ``sizes`` list — are checked
+    before sources are normalized.  Returns ``(sources, sizes, t_max)``."""
+    from repro.walks.local_mixing import _resolve_walk_bounds, size_grid
+
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0,1)")
+    if method not in ("iterative", "spectral"):
+        raise ValueError(f"unknown method {method!r}")
+    if sizes is None:
+        sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
+    else:
+        sizes = sorted(set(int(s) for s in sizes))
+        if not sizes or sizes[0] < 1 or sizes[-1] > g.n:
+            raise ValueError("sizes out of range")
+    src = _normalize_sources(g, sources)
+    t_max = _resolve_walk_bounds(g, lazy, t_max)
+    return src, sizes, t_max
+
+
 def batched_local_mixing_times(
     g: Graph,
     beta: float,
@@ -149,30 +254,27 @@ def batched_local_mixing_times(
     loop-equivalence guarantee; ``engine="loop"`` call sites are the
     reference this is tested against).
     """
-    if not 0 < eps < 1:
-        raise ValueError("eps must be in (0,1)")
-    if beta < 1:
-        raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
-    if method not in ("iterative", "spectral"):
-        raise ValueError(f"unknown method {method!r}")
-    if target not in ("uniform", "degree"):
-        raise ValueError(f"unknown target {target!r}")
-    if prefilter not in ("fused", "per_size"):
-        raise ValueError(f"unknown prefilter {prefilter!r}")
-    src = _normalize_sources(g, sources)
-    from repro.walks.local_mixing import _candidate_sizes, _resolve_walk_bounds
-
-    t_max = _resolve_walk_bounds(g, lazy, t_max)
-    grid_factor = eps if grid_factor is None else grid_factor
-    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    src, candidates, t_max = _prepare_times_call(
+        g,
+        beta,
+        eps,
+        sources=sources,
+        sizes=sizes,
+        threshold_factor=threshold_factor,
+        grid_factor=grid_factor,
+        t_schedule=t_schedule,
+        t_max=t_max,
+        lazy=lazy,
+        target=target,
+        method=method,
+        batch_size=batch_size,
+        prefilter=prefilter,
+    )
     threshold = eps * threshold_factor
-    _validate_schedule(t_schedule)
 
     results: list[LocalMixingResult | None] = [None] * len(src)
     if batch_size is None:
         batch_size = len(src)
-    elif batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
     for lo in range(0, len(src), batch_size):
         chunk = src[lo : lo + batch_size]
         for pos, res in _solve_chunk(
@@ -345,12 +447,13 @@ def batched_local_mixing_profiles(
     from repro.engine.oracle import BatchedUniformDeviationOracle
     from repro.walks.local_mixing import (
         UniformDeviationOracle,
-        _candidate_sizes,
         window_deviation_sums,
     )
 
-    src = _normalize_sources(g, sources)
-    candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
+    src, candidates = _prepare_profiles_call(
+        g, beta, sources=sources, sizes=sizes, grid_factor=grid_factor,
+        t_max=t_max,
+    )
     starts = {R: np.arange(g.n - R + 1) for R in candidates}
     out = np.empty((len(src), t_max + 1), dtype=np.float64)
     prop = BlockPropagator(g, src, lazy=lazy)
@@ -528,24 +631,18 @@ def batched_local_mixing_spectra(
     — and decided by the exact constrained oracle on the column); sizes
     that never mix within ``t_max`` map to ``math.inf``.
     """
-    from repro.walks.local_mixing import (
-        UniformDeviationOracle,
-        _resolve_walk_bounds,
-        size_grid,
-    )
+    from repro.walks.local_mixing import UniformDeviationOracle
 
-    if not 0 < eps < 1:
-        raise ValueError("eps must be in (0,1)")
-    if method not in ("iterative", "spectral"):
-        raise ValueError(f"unknown method {method!r}")
-    src = _normalize_sources(g, sources)
-    t_max = _resolve_walk_bounds(g, lazy, t_max)
-    if sizes is None:
-        sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
-    else:
-        sizes = sorted(set(int(s) for s in sizes))
-        if not sizes or sizes[0] < 1 or sizes[-1] > g.n:
-            raise ValueError("sizes out of range")
+    src, sizes, t_max = _prepare_spectra_call(
+        g,
+        eps,
+        sources=sources,
+        sizes=sizes,
+        grid_factor=grid_factor,
+        t_max=t_max,
+        lazy=lazy,
+        method=method,
+    )
 
     cutoff = eps * (1.0 + _VERIFY_SLACK)
     Rs = np.asarray(sizes, dtype=np.int64)

@@ -1,0 +1,362 @@
+"""The sharded process-pool executor behind the parallel front doors.
+
+:class:`ShardExecutor` owns a persistent
+:class:`concurrent.futures.ProcessPoolExecutor` whose workers are warmed
+once on spawn (engine spectral-cache settings forwarded via the pool
+initializer) and then reused across calls — the pool survives any number of
+solves, graphs and snapshots.  Graphs travel to workers through
+:class:`~repro.parallel.shared_csr.SharedCSR` segments published once per
+structure; tasks carry only the tiny handle.
+
+Determinism contract
+--------------------
+Work is split by :func:`shard_bounds` into **contiguous** shards in input
+order (``numpy.array_split`` semantics: the first ``k mod W`` shards get
+one extra item), and results are merged back in shard order.  Because every
+batched-engine result is per-source identical to the per-source reference
+loop (the loop-equivalence guarantee), a shard's block solve performs
+bitwise the same arithmetic per column as the corresponding single-process
+chunk — so the merged output is *independent of the worker count and shard
+boundaries*, not merely statistically equivalent.  Each worker propagates
+only its own ``k/W`` columns, which also caps peak dense-block memory at
+``n × ⌈k/W⌉`` per process (the column compression the single-process
+engine's ``batch_size`` knob provides, now spread across cores).
+
+Start methods
+-------------
+The pool uses the platform default start method unless overridden by the
+``start_method`` argument or the ``REPRO_PARALLEL_START_METHOD``
+environment variable (the CI matrix runs the suite under both ``fork`` and
+``spawn``).  Everything shipped to workers — the module-level task
+functions, :class:`SharedCSRHandle`, knob dictionaries, seeds — is
+picklable, so ``spawn`` (macOS/Windows default) is fully supported.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.parallel.shared_csr import SharedCSR, SharedCSRHandle
+
+__all__ = ["ShardExecutor", "shard_bounds", "default_start_method"]
+
+#: Environment variable overriding the multiprocessing start method (the CI
+#: portability matrix sets it to ``spawn``).
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def default_start_method() -> str:
+    """The start method new executors use: ``REPRO_PARALLEL_START_METHOD``
+    if set, else the platform default (``fork`` on Linux, ``spawn`` on
+    macOS/Windows)."""
+    env = os.environ.get(START_METHOD_ENV, "").strip()
+    if env:
+        return env
+    return mp.get_start_method(allow_none=False)
+
+
+def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-even shard boundaries ``[(lo, hi), …)`` over
+    ``range(n_items)`` — ``numpy.array_split`` semantics (the first
+    ``n_items mod n_shards`` shards get one extra item), with empty shards
+    dropped (``n_shards > n_items`` degrades to one shard per item).
+
+    This is the deterministic sharding every parallel driver uses; the
+    boundaries are part of the equivalence contract only in that they are
+    *contiguous and in input order* — the merged result is the same for any
+    partition (see the module docstring).
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_items == 0:
+        return []
+    n_shards = min(n_shards, n_items)
+    base, extra = divmod(n_items, n_shards)
+    bounds = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ---------------------------------------------------------------------- #
+# Worker side (module-level so every start method can pickle the tasks)
+# ---------------------------------------------------------------------- #
+
+#: Per-worker LRU of attached segments: keeps the worker-side ``Graph`` (and
+#: its warm ``cached_property`` state) alive across tasks, bounded so long
+#: snapshot streams do not pin stale mappings.
+_WORKER_GRAPH_CACHE_SIZE = 8
+_worker_graphs: "OrderedDict[str, SharedCSR]" = OrderedDict()
+
+
+def _init_worker(cache_maxsize: int | None) -> None:
+    """Pool initializer: apply forwarded engine settings once per worker."""
+    if cache_maxsize is not None:
+        from repro.engine import set_propagator_cache_maxsize
+
+        set_propagator_cache_maxsize(cache_maxsize)
+
+
+def _resolve_graph(handle: SharedCSRHandle) -> Graph:
+    """Attach (or reuse) the shared segment and return its zero-copy graph."""
+    shared = _worker_graphs.get(handle.shm_name)
+    if shared is None:
+        # Pool workers inherit the publisher's resource tracker (under
+        # every start method: the tracker fd travels in the spawn
+        # preparation data), so attach-registration dedups against the
+        # publisher's entry and must NOT be untracked — the publisher's
+        # unlink is the one and only deregistration.
+        shared = SharedCSR.attach(handle)
+        _worker_graphs[handle.shm_name] = shared
+        while len(_worker_graphs) > _WORKER_GRAPH_CACHE_SIZE:
+            _worker_graphs.popitem(last=False)[1].close()
+    else:
+        _worker_graphs.move_to_end(handle.shm_name)
+    return shared.graph
+
+
+def _solve_shard(
+    handle: SharedCSRHandle, kind: str, shard: list[int], kwargs: dict
+):
+    """Worker kernel: one batched-engine call on this worker's source shard.
+
+    The batched drivers are reused as-is — the shard's block is exactly the
+    single-process engine's chunk for these sources, so per-source outputs
+    are bitwise those of the serial call (loop equivalence)."""
+    from repro.engine import (
+        batched_local_mixing_profiles,
+        batched_local_mixing_spectra,
+        batched_local_mixing_times,
+    )
+
+    g = _resolve_graph(handle)
+    if kind == "times":
+        return batched_local_mixing_times(g, sources=shard, **kwargs)
+    if kind == "spectra":
+        return batched_local_mixing_spectra(g, sources=shard, **kwargs)
+    if kind == "profiles":
+        return batched_local_mixing_profiles(g, sources=shard, **kwargs)
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+def _map_shard(handle: SharedCSRHandle | None, fn: Callable, chunk: list):
+    """Worker kernel for :func:`~repro.parallel.api.shard_map`: apply ``fn``
+    to every item of the chunk (with the shared graph prepended when the
+    caller published one)."""
+    if handle is None:
+        return [fn(item) for item in chunk]
+    g = _resolve_graph(handle)
+    return [fn(g, item) for item in chunk]
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+
+
+class ShardExecutor:
+    """A persistent worker pool with shared-memory graph publication.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (default: ``os.cpu_count()``).  Also the default shard
+        count for solves submitted through this executor.
+    start_method:
+        Multiprocessing start method (default:
+        :func:`default_start_method`).
+    cache_maxsize:
+        Forwarded to each worker's
+        :func:`~repro.engine.set_propagator_cache_maxsize` on spawn, so the
+        per-worker spectral cache obeys the same memory bound the parent
+        configured (workers otherwise start with the library default).
+    max_published:
+        How many distinct graph segments to keep published at once; least
+        recently used segments beyond the bound are unlinked (safe between
+        solves — no task is in flight when eviction runs).
+
+    Use as a context manager (or call :meth:`close`) so the pool and every
+    shared segment are torn down deterministically; tests assert that after
+    :meth:`close` no published segment can be re-attached.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        cache_maxsize: int | None = None,
+        max_published: int = 16,
+    ):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_published < 1:
+            raise ValueError("max_published must be >= 1")
+        self.n_workers = int(n_workers)
+        self.start_method = start_method or default_start_method()
+        ctx = mp.get_context(self.start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(cache_maxsize,),
+        )
+        self._published: "OrderedDict[Graph, SharedCSR]" = OrderedDict()
+        self._max_published = int(max_published)
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # Graph publication
+    # -------------------------------------------------------------- #
+
+    def publish(self, g: Graph) -> SharedCSRHandle:
+        """Place ``g``'s CSR arrays in shared memory (idempotent per
+        structure: :class:`Graph` hashes by its CSR bytes, so a revisited
+        dynamic-snapshot topology reuses its existing segment)."""
+        self._check_open()
+        shared = self._published.get(g)
+        if shared is None:
+            shared = SharedCSR.publish(g)
+            self._published[g] = shared
+            while len(self._published) > self._max_published:
+                _, old = self._published.popitem(last=False)
+                old.unlink()
+                old.close()
+        else:
+            self._published.move_to_end(g)
+        return shared.handle
+
+    def release(self, g: Graph) -> None:
+        """Unlink ``g``'s segment now instead of waiting for :meth:`close`
+        (workers' existing mappings stay valid until they rotate out)."""
+        shared = self._published.pop(g, None)
+        if shared is not None:
+            shared.unlink()
+            shared.close()
+
+    # -------------------------------------------------------------- #
+    # Execution
+    # -------------------------------------------------------------- #
+
+    def run_sharded(
+        self,
+        g: Graph,
+        kind: str,
+        sources: Sequence[int],
+        kwargs: dict,
+        *,
+        n_shards: int | None = None,
+    ):
+        """Shard ``sources`` contiguously, solve every shard on the pool
+        with the batched-engine kernel ``kind`` (``"times"`` / ``"spectra"``
+        / ``"profiles"``), and merge in shard order.
+
+        Returns a list in ``sources`` order for ``"times"``/``"spectra"``
+        and a vertically stacked ``(k, t_max+1)`` array for
+        ``"profiles"`` — in every case element-for-element identical to the
+        corresponding single-process batched call.
+        """
+        self._check_open()
+        n_shards = self._resolve_shards(n_shards)
+        handle = self.publish(g)
+        src = [int(s) for s in sources]
+        bounds = shard_bounds(len(src), n_shards)
+        futures = [
+            self._pool.submit(_solve_shard, handle, kind, src[lo:hi], kwargs)
+            for lo, hi in bounds
+        ]
+        parts = [f.result() for f in futures]
+        if kind == "profiles":
+            return np.vstack(parts)
+        return [res for part in parts for res in part]
+
+    def map_items(
+        self,
+        fn: Callable,
+        items: Sequence,
+        *,
+        graph: Graph | None = None,
+        n_shards: int | None = None,
+    ) -> list:
+        """Apply a picklable module-level ``fn`` to every item, sharded
+        contiguously across the pool; results come back in ``items`` order.
+
+        With ``graph`` given, the graph is published once and ``fn`` is
+        called as ``fn(shared_graph, item)`` — per-source workloads get the
+        zero-copy topology without pickling it per task."""
+        self._check_open()
+        n_shards = self._resolve_shards(n_shards)
+        items = list(items)
+        if not items:
+            return []
+        handle = self.publish(graph) if graph is not None else None
+        bounds = shard_bounds(len(items), n_shards)
+        futures = [
+            self._pool.submit(_map_shard, handle, fn, items[lo:hi])
+            for lo, hi in bounds
+        ]
+        return [res for f in futures for res in f.result()]
+
+    def _resolve_shards(self, n_shards: int | None) -> int:
+        """Default the shard count to the pool size; an explicit value
+        must be >= 1 (0 is an error, not "use the default")."""
+        if n_shards is None:
+            return self.n_workers
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        return n_shards
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardExecutor is closed")
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every published segment
+        (idempotent).  After this returns, no segment this executor
+        published can be attached again."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for shared in self._published.values():
+            shared.unlink()
+            shared.close()
+        self._published.clear()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"ShardExecutor(n_workers={self.n_workers}, "
+            f"start_method={self.start_method!r}, "
+            f"published={len(self._published)}, {state})"
+        )

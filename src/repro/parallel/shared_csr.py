@@ -1,0 +1,212 @@
+"""Zero-copy graph sharing across worker processes.
+
+A :class:`SharedCSR` places a graph's two CSR arrays (``indptr`` and
+``indices``, both ``int64``) in **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment, written once
+by the publishing process.  Workers receive only a tiny picklable
+:class:`SharedCSRHandle` (segment name + array shapes) and map the segment
+read-only into their own address space — :meth:`SharedCSR.attach` rebuilds
+the :class:`~repro.graphs.base.Graph` with
+:meth:`~repro.graphs.base.Graph.from_csr` *directly on views of the shared
+buffer*, so no worker ever copies or re-validates the topology.  This is
+the same shared-memory CSR design production graph systems use to fan
+sampling out across cores (e.g. DGL's ``shared_memory``-backed graph
+store).
+
+Because :class:`~repro.graphs.base.Graph` hashes by its CSR bytes, the
+worker-side graph is ``==`` to (and hashes with) the publisher's graph, so
+every structure-keyed cache downstream — in particular the engine's shared
+spectral-propagator cache — behaves identically in workers and parent.
+
+Lifecycle contract
+------------------
+The **publisher** owns the segment: it must eventually call
+:meth:`SharedCSR.unlink` (or use the instance as a context manager, or let
+:class:`~repro.parallel.executor.ShardExecutor` manage it) to remove the
+segment from the OS namespace.  **Attachers** only :meth:`close` their
+mapping (see :meth:`SharedCSR.attach` for the resource-tracker rules).
+Unlinking while a worker still holds a mapping is safe on POSIX
+(the memory lives until the last mapping closes) and a no-op on Windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = ["SharedCSR", "SharedCSRHandle"]
+
+_DTYPE = np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable pointer to a published graph.
+
+    Attributes
+    ----------
+    shm_name:
+        OS name of the shared-memory segment.
+    n:
+        Number of nodes (``indptr`` has ``n + 1`` entries).
+    nnz:
+        Number of directed CSR entries (``indices`` length, ``2m``).
+    graph_name:
+        The graph's human-readable name, forwarded so worker-side reprs and
+        error messages match the parent's.
+    """
+
+    shm_name: str
+    n: int
+    nnz: int
+    graph_name: str
+
+
+class SharedCSR:
+    """One graph's CSR arrays in a shared-memory segment.
+
+    Construct via :meth:`publish` (in the owning process) or
+    :meth:`attach` (in a worker); the raw constructor is internal.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n: int,
+        nnz: int,
+        graph_name: str,
+        *,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.n = int(n)
+        self.nnz = int(nnz)
+        self.graph_name = graph_name
+        self.owner = owner
+        self._graph: Graph | None = None
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def publish(cls, g: Graph) -> "SharedCSR":
+        """Copy ``g``'s CSR arrays into a fresh shared segment (done once;
+        every worker maps the same physical pages afterwards)."""
+        n, nnz = g.n, g.indices.size
+        nbytes = max((n + 1 + nnz) * _DTYPE.itemsize, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        indptr = np.ndarray(n + 1, dtype=_DTYPE, buffer=shm.buf)
+        indptr[:] = g.indptr
+        indices = np.ndarray(
+            nnz, dtype=_DTYPE, buffer=shm.buf, offset=(n + 1) * _DTYPE.itemsize
+        )
+        indices[:] = g.indices
+        # Drop the exported views so close() can unmap the segment later.
+        del indptr, indices
+        return cls(shm, n, nnz, g.name, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SharedCSRHandle, *, untrack: bool = False) -> "SharedCSR":
+        """Map an already-published segment (worker side, zero-copy).
+
+        ``untrack=True`` removes the segment from this process's
+        :mod:`multiprocessing` resource tracker after attaching.  Pass it
+        only from a process *unrelated* to the publisher (whose private
+        tracker would otherwise unlink the publisher's segment on exit,
+        bpo-38119).  Pool workers must leave it ``False``: they inherit
+        the publisher's tracker under every start method, so the attach
+        registration dedups against the publisher's entry and the
+        publisher's unlink is the single deregistration."""
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        if untrack:
+            try:  # pragma: no cover - tracker internals vary across versions
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, handle.n, handle.nnz, handle.graph_name, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def handle(self) -> SharedCSRHandle:
+        """The picklable descriptor workers attach by."""
+        return SharedCSRHandle(
+            self._shm.name, self.n, self.nnz, self.graph_name
+        )
+
+    @property
+    def graph(self) -> Graph:
+        """The :class:`Graph` whose CSR arrays are *views* of the shared
+        buffer (built lazily, cached so per-graph ``cached_property``
+        state — degrees, connectivity — stays warm across tasks)."""
+        if self._graph is None:
+            indptr = np.ndarray(self.n + 1, dtype=_DTYPE, buffer=self._shm.buf)
+            indices = np.ndarray(
+                self.nnz,
+                dtype=_DTYPE,
+                buffer=self._shm.buf,
+                offset=(self.n + 1) * _DTYPE.itemsize,
+            )
+            # The publisher validated the graph when it was first built;
+            # re-validating 2m entries per worker would defeat the point.
+            self._graph = Graph.from_csr(
+                indptr, indices, name=self.graph_name, validate=False
+            )
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Unmap this process's view of the segment (keeps the segment
+        itself alive for other processes)."""
+        self._graph = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported numpy views
+            # A live numpy view still points into the mapping; the OS
+            # reclaims it with the process instead.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS namespace (publisher only;
+        idempotent).  Existing mappings stay valid until closed."""
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.unlink()
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedCSR({self.graph_name!r}, n={self.n}, nnz={self.nnz}, "
+            f"shm={self._shm.name!r}, {role})"
+        )

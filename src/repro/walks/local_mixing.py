@@ -416,11 +416,21 @@ def graph_local_mixing_time(
     engine (:mod:`repro.engine`): one block trajectory and one batched
     deviation oracle replace the per-source loop, with identical per-source
     outputs for every knob combination — ``target="degree"`` and
-    ``require_source=True`` included.  ``engine="loop"`` forces the
-    original per-source loop (the reference the engine is validated
-    against)."""
-    if engine not in ("batch", "loop"):
+    ``require_source=True`` included.  ``engine="parallel"`` shards the
+    sources across a process pool (:mod:`repro.parallel`; forward
+    ``n_workers=`` or a long-lived ``executor=`` through ``kwargs``) —
+    same results again, the loop-equivalence guarantee is worker-count
+    independent.  ``engine="loop"`` forces the original per-source loop
+    (the reference both engines are validated against)."""
+    if engine not in ("batch", "loop", "parallel"):
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "parallel":
+        from repro.parallel import parallel_local_mixing_times
+
+        results = parallel_local_mixing_times(
+            g, beta, eps, sources=sources, **kwargs
+        )
+        return max(r.time for r in results)
     if engine == "batch":
         from repro.engine import batched_local_mixing_times
 

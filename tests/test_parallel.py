@@ -1,0 +1,391 @@
+"""The sharded parallel subsystem: parallel ↔ serial equivalence, shard
+mathematics, shared-memory lifecycle, and the fail-fast knob validation the
+parallel front doors share with the batched drivers.
+
+The headline contract under test: every parallel front door returns results
+**identical** — same τ, set sizes, bitwise-equal deviations, same
+bookkeeping counters — to the serial batched engine (and therefore to the
+per-source reference loop) for every knob combination, every worker count
+and every shard boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    batched_local_mixing_profiles,
+    batched_local_mixing_spectra,
+    batched_local_mixing_times,
+)
+from repro.graphs import generators as gen
+from repro.parallel import (
+    ShardExecutor,
+    SharedCSR,
+    parallel_local_mixing_profiles,
+    parallel_local_mixing_spectra,
+    parallel_local_mixing_times,
+    shard_bounds,
+    shard_map,
+)
+
+BETA = 4.0
+
+
+@pytest.fixture(scope="module")
+def reg():
+    """Small connected non-bipartite regular graph."""
+    return gen.random_regular(30, 4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def lolli():
+    """Irregular graph (clique + path) for the degree target; bipartite
+    pieces force lazy walks."""
+    return gen.lollipop(6, 9)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent 2-worker pool for the whole module (pool spawn is the
+    expensive part; the subsystem is designed around reuse)."""
+    with ShardExecutor(2) as ex:
+        yield ex
+
+
+# --------------------------------------------------------------------- #
+# Shard arithmetic
+# --------------------------------------------------------------------- #
+
+
+def test_shard_bounds_contiguous_and_even():
+    assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+    assert shard_bounds(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    # More shards than items: degrade to one shard per item, none empty.
+    assert shard_bounds(2, 5) == [(0, 1), (1, 2)]
+    assert shard_bounds(0, 3) == []
+    with pytest.raises(ValueError):
+        shard_bounds(5, 0)
+    with pytest.raises(ValueError):
+        shard_bounds(-1, 2)
+
+
+@given(
+    n_items=st.integers(min_value=1, max_value=200),
+    n_shards=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50, deadline=None)
+def test_shard_bounds_partition_property(n_items, n_shards):
+    bounds = shard_bounds(n_items, n_shards)
+    # Exact contiguous partition, no empty shard, near-even sizes.
+    assert bounds[0][0] == 0 and bounds[-1][1] == n_items
+    for (lo, hi), (lo2, _) in zip(bounds, bounds[1:]):
+        assert hi == lo2
+    lens = [hi - lo for lo, hi in bounds]
+    assert min(lens) >= 1 and max(lens) - min(lens) <= 1
+    assert len(bounds) == min(n_shards, n_items)
+
+
+# --------------------------------------------------------------------- #
+# Parallel ↔ serial equivalence: knob matrix and worker counts
+# --------------------------------------------------------------------- #
+
+
+KNOBS = [
+    dict(),
+    dict(require_source=True),
+    dict(sizes="grid", threshold_factor=4.0, t_schedule="doubling"),
+    dict(t_schedule="doubling"),
+    dict(lazy=True),
+    dict(prefilter="per_size"),
+    dict(batch_size=3),
+    dict(sizes=[8, 12, 20, 30], eps=0.3),
+]
+
+
+@pytest.mark.parametrize("knobs", KNOBS)
+def test_times_knob_matrix_matches_serial(reg, pool, knobs):
+    serial = batched_local_mixing_times(reg, BETA, **knobs)
+    par = parallel_local_mixing_times(reg, BETA, executor=pool, **knobs)
+    assert par == serial
+
+
+@pytest.mark.parametrize("knobs", [dict(), dict(require_source=True)])
+def test_times_degree_target_matches_serial(lolli, pool, knobs):
+    serial = batched_local_mixing_times(
+        lolli, BETA, target="degree", lazy=True, **knobs
+    )
+    par = parallel_local_mixing_times(
+        lolli, BETA, target="degree", lazy=True, executor=pool, **knobs
+    )
+    assert par == serial
+
+
+def test_times_spectral_method_matches_serial(reg, pool):
+    serial = batched_local_mixing_times(
+        reg, BETA, method="spectral", t_schedule="doubling"
+    )
+    par = parallel_local_mixing_times(
+        reg, BETA, method="spectral", t_schedule="doubling", executor=pool
+    )
+    assert par == serial
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_times_worker_counts(reg, pool, n_workers):
+    """Worker counts {1, 2, 4} (4 shards > pool size exercises queueing)
+    all reproduce the serial result exactly."""
+    serial = batched_local_mixing_times(reg, BETA)
+    par = parallel_local_mixing_times(
+        reg, BETA, executor=pool, n_workers=n_workers
+    )
+    assert par == serial
+
+
+def test_more_workers_than_sources(reg, pool):
+    serial = batched_local_mixing_times(reg, BETA, sources=[3, 17])
+    par = parallel_local_mixing_times(
+        reg, BETA, sources=[3, 17], executor=pool, n_workers=4
+    )
+    assert par == serial
+
+
+def test_sources_order_preserved(reg, pool):
+    srcs = [9, 0, 22, 4, 13]
+    serial = batched_local_mixing_times(reg, BETA, sources=srcs)
+    par = parallel_local_mixing_times(reg, BETA, sources=srcs, executor=pool)
+    assert par == serial
+
+
+@pytest.mark.parametrize("knobs", [dict(), dict(require_source=True)])
+def test_spectra_matches_serial(reg, pool, knobs):
+    serial = batched_local_mixing_spectra(reg, t_max=40, **knobs)
+    par = parallel_local_mixing_spectra(reg, t_max=40, executor=pool, **knobs)
+    assert par == serial
+    assert any(
+        math.isinf(t) for spec in serial for t in spec.values()
+    ), "want some never-mixing sizes to exercise the inf path"
+
+
+@pytest.mark.parametrize("knobs", [dict(), dict(require_source=True)])
+def test_profiles_bitwise_equal(reg, pool, knobs):
+    serial = batched_local_mixing_profiles(reg, BETA, t_max=12, **knobs)
+    par = parallel_local_mixing_profiles(
+        reg, BETA, t_max=12, executor=pool, **knobs
+    )
+    # Bitwise: profile values feed plots/fits, no threshold slack applies.
+    assert par.shape == serial.shape
+    assert np.array_equal(par, serial)
+
+
+def test_one_shot_pool_without_executor(reg):
+    """The front door spins up and tears down its own pool when no executor
+    is passed."""
+    serial = batched_local_mixing_times(reg, BETA, sources=[0, 1, 2, 3])
+    par = parallel_local_mixing_times(
+        reg, BETA, sources=[0, 1, 2, 3], n_workers=2
+    )
+    assert par == serial
+
+
+# --------------------------------------------------------------------- #
+# Arbitrary shard partitions (the mathematical core of the merge contract)
+# --------------------------------------------------------------------- #
+
+
+@given(cuts=st.sets(st.integers(min_value=1, max_value=29), max_size=6))
+@settings(max_examples=12, deadline=None)
+def test_arbitrary_shard_partitions_merge_exactly(cuts):
+    """For ANY contiguous partition of the source list, solving the shards
+    independently and concatenating equals the one-block solve — this is
+    the property that makes the executor's merge independent of worker
+    count and shard boundaries.  (Runs the engine in-process: the property
+    is about shard boundaries, not about processes.)"""
+    g = gen.random_regular(30, 4, seed=5)
+    full = batched_local_mixing_times(g, BETA)
+    edges = [0, *sorted(cuts), g.n]
+    merged = []
+    for lo, hi in zip(edges, edges[1:]):
+        if lo < hi:
+            merged.extend(
+                batched_local_mixing_times(g, BETA, sources=range(lo, hi))
+            )
+    assert merged == full
+
+
+# --------------------------------------------------------------------- #
+# shard_map
+# --------------------------------------------------------------------- #
+
+
+def test_shard_map_plain(pool):
+    assert shard_map(_square, list(range(11)), executor=pool) == [
+        i * i for i in range(11)
+    ]
+    assert shard_map(_square, [], executor=pool) == []
+
+
+def test_shard_map_with_graph(reg, pool):
+    degs = shard_map(_degree_of, [0, 7, 29], graph=reg, executor=pool)
+    assert degs == [reg.degree(0), reg.degree(7), reg.degree(29)]
+
+
+def _square(x):
+    return x * x
+
+
+def _degree_of(g, u):
+    return g.degree(u)
+
+
+# --------------------------------------------------------------------- #
+# SharedCSR and lifecycle / teardown
+# --------------------------------------------------------------------- #
+
+
+def test_shared_csr_roundtrip(reg):
+    with SharedCSR.publish(reg) as pub:
+        att = SharedCSR.attach(pub.handle)
+        h = att.graph
+        assert h == reg and hash(h) == hash(reg)
+        assert np.array_equal(h.indptr, reg.indptr)
+        assert np.array_equal(h.indices, reg.indices)
+        att.close()
+
+
+def test_executor_close_unlinks_segments(reg):
+    ex = ShardExecutor(1)
+    res = parallel_local_mixing_times(reg, BETA, sources=[0, 1], executor=ex)
+    assert len(res) == 2
+    name = ex.publish(reg).shm_name
+    ex.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    # close is idempotent; new submissions are refused.
+    ex.close()
+    with pytest.raises(RuntimeError):
+        ex.publish(reg)
+
+
+def test_executor_release_single_graph(reg):
+    with ShardExecutor(1) as ex:
+        name = ex.publish(reg).shm_name
+        ex.release(reg)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_spawn_start_method_portability(reg):
+    """The OS-portability guard: the whole pipeline must work under the
+    ``spawn`` start method (macOS/Windows default) — every task and handle
+    crosses the process boundary by pickling there."""
+    serial = batched_local_mixing_times(reg, BETA, sources=[0, 1, 2, 3])
+    with ShardExecutor(2, start_method="spawn") as ex:
+        par = parallel_local_mixing_times(
+            reg, BETA, sources=[0, 1, 2, 3], executor=ex
+        )
+        name = ex.publish(reg).shm_name
+    assert par == serial
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_executor_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ShardExecutor(0)
+
+
+# --------------------------------------------------------------------- #
+# Fail-fast knob validation (shared head of batched + parallel drivers)
+# --------------------------------------------------------------------- #
+
+
+class TestKnobValidationOrdering:
+    """Regression tests: ``batch_size``, ``sizes`` and ``t_schedule`` are
+    validated before sources are normalized, so a call that is wrong in
+    both ways reports the knob error — uniformly across drivers."""
+
+    def test_batch_size_before_sources(self, reg):
+        with pytest.raises(ValueError, match="batch_size must be >= 1"):
+            batched_local_mixing_times(
+                reg, BETA, sources=[reg.n + 5], batch_size=0
+            )
+
+    def test_t_schedule_before_sources(self, reg):
+        with pytest.raises(ValueError, match="unknown t_schedule"):
+            batched_local_mixing_times(
+                reg, BETA, sources=[-1], t_schedule="bogus"
+            )
+
+    def test_sizes_mode_before_sources(self, reg):
+        with pytest.raises(ValueError, match="unknown sizes mode"):
+            batched_local_mixing_times(reg, BETA, sources=[-1], sizes="bogus")
+
+    def test_explicit_sizes_before_sources(self, reg):
+        with pytest.raises(ValueError, match="explicit sizes out of range"):
+            batched_local_mixing_times(
+                reg, BETA, sources=[-1], sizes=[0, 5]
+            )
+
+    def test_empty_sources_still_rejected(self, reg):
+        with pytest.raises(ValueError, match="at least one source"):
+            batched_local_mixing_times(reg, BETA, sources=[])
+
+    def test_profiles_sizes_before_sources(self, reg):
+        with pytest.raises(ValueError, match="unknown sizes mode"):
+            batched_local_mixing_profiles(
+                reg, BETA, sources=[-1], sizes="bogus"
+            )
+
+    def test_profiles_negative_t_max(self, reg):
+        with pytest.raises(ValueError, match="t_max must be non-negative"):
+            batched_local_mixing_profiles(reg, BETA, t_max=-1)
+
+    def test_spectra_sizes_before_sources(self, reg):
+        with pytest.raises(ValueError, match="sizes out of range"):
+            batched_local_mixing_spectra(reg, sources=[-1], sizes=[0])
+
+    @pytest.mark.parametrize(
+        "bad_kwargs, match",
+        [
+            (dict(batch_size=0), "batch_size must be >= 1"),
+            (dict(t_schedule="bogus"), "unknown t_schedule"),
+            (dict(sizes="bogus"), "unknown sizes mode"),
+            (dict(target="bogus"), "unknown target"),
+            (dict(prefilter="bogus"), "unknown prefilter"),
+            (dict(method="bogus"), "unknown method"),
+            (dict(threshold_factor=0.0), "threshold_factor must be positive"),
+        ],
+    )
+    def test_parallel_front_door_same_messages(self, reg, bad_kwargs, match):
+        """The parallel front door fails in the parent, before any worker
+        or segment exists, with the serial driver's message."""
+        with pytest.raises(ValueError, match=match):
+            parallel_local_mixing_times(
+                reg, BETA, n_workers=2, **bad_kwargs
+            )
+        # Drop-in contract: the serial driver rejects the same call with
+        # the same message.
+        with pytest.raises(ValueError, match=match):
+            batched_local_mixing_times(reg, BETA, **bad_kwargs)
+
+    def test_profiles_beta_rejected_uniformly(self, reg):
+        for call in (batched_local_mixing_profiles,
+                     parallel_local_mixing_profiles):
+            with pytest.raises(ValueError, match="beta must be >= 1"):
+                call(reg, 0.5, t_max=3)
+
+    def test_explicit_zero_shards_rejected(self, reg, pool):
+        """n_workers=0 with a supplied executor is an error, not 'use the
+        pool default' (falsy-zero guard)."""
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            parallel_local_mixing_times(
+                reg, BETA, executor=pool, n_workers=0
+            )
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            shard_map(_square, [1, 2], executor=pool, n_workers=-1)
