@@ -44,9 +44,22 @@ def run_compare(n: int, d: int, seed: int = 1):
         with ShardExecutor(w) as ex:
             # Warm the pool (worker spawn is setup, not solve time).
             parallel_local_mixing_times(g, BETA, sources=[0], executor=ex)
+            warm = ex.stats()["per_worker_solves"]
             t0 = time.perf_counter()
             results[w] = parallel_local_mixing_times(g, BETA, executor=ex)
-            rows.append((w, time.perf_counter() - t0))
+            dt = time.perf_counter() - t0
+            # Utilization counters (satellite of the serving subsystem):
+            # shard partition + per-worker attribution of the timed call
+            # only (the warm-up's task is diffed out).
+            st = ex.stats()
+            timed = [
+                n_solves - warm.get(pid, 0)
+                for pid, n_solves in st["per_worker_solves"].items()
+            ]
+            split = "/".join(
+                str(v) for v in sorted(timed, reverse=True) if v > 0
+            )
+            rows.append((w, dt, st["last_shard_sizes"], split))
     return g, serial, results, t_serial, rows
 
 
@@ -65,13 +78,15 @@ def test_s1_sharded_engine(record_table, quick_mode):
         cores = os.cpu_count() or 1
     block_mb = lambda k: n * k * 8 / 2**20  # noqa: E731 - table helper
     table_rows = [
-        ["serial", f"{t_serial:.2f}", "1.00x", f"{block_mb(g.n):.1f}"]
+        ["serial", f"{t_serial:.2f}", "1.00x", f"{block_mb(g.n):.1f}",
+         "-", "-"]
     ]
-    for w, t_w in rows:
+    for w, t_w, shard_sizes, split in rows:
         shard = -(-g.n // w)  # ceil(k / W): the per-worker block height
         table_rows.append(
             [f"W={w}", f"{t_w:.2f}", f"{t_serial / t_w:.2f}x",
-             f"{block_mb(shard):.1f}"]
+             f"{block_mb(shard):.1f}",
+             "+".join(str(s) for s in shard_sizes), split]
         )
         if not quick_mode and w == 4 and cores >= 4:
             assert t_serial / t_w >= 2.0, (
@@ -81,7 +96,8 @@ def test_s1_sharded_engine(record_table, quick_mode):
             )
 
     table = format_table(
-        ["config", "wall s", "speedup", "peak block MiB/proc"],
+        ["config", "wall s", "speedup", "peak block MiB/proc",
+         "shard sizes", "solves/worker"],
         table_rows,
         title=(
             f"S1: sharded parallel engine vs serial batch — all {g.n} "

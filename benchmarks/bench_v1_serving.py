@@ -1,0 +1,139 @@
+"""V1 — the async serving front end: coalesced vs per-query dispatch.
+
+Claims (serving subsystem):
+
+1. **Serving identity** — for every concurrency level C ∈ {1, 8, 64} and
+   both dispatch modes, every answer the service returns is identical —
+   same τ, set sizes, bitwise-equal deviations, same counters — to the
+   direct :func:`batched_local_mixing_times` result for that source
+   (asserted unconditionally, in quick mode too);
+2. **Coalescing throughput** — 64 concurrent clients micro-batched into
+   block solves complete ≥ 3× faster than the same 64 clients dispatched
+   per-query (``max_batch=1``: one engine call each, the cost model of a
+   naive front end).  The gain stacks two effects: the algorithmic one
+   (one ``n × 64`` block trajectory against 64 independent ``n × 1``
+   trajectories) and — on a multi-core host — the parallel one (a
+   coalesced batch is a *sharded* solve on the service's persistent
+   worker pool, which a stream of single-source calls can never exploit).
+   The ≥ 3× assertion is therefore gated on the schedulable core count
+   (``>= 2``; a single-core runner caps the stack at the algorithmic
+   share) and skipped in quick mode; identity still runs everywhere.
+
+The result cache is disabled throughout (``cache_size=0``) so the table
+measures coalescing, not memoization; every client queries a distinct
+source (the worst case for caching, the natural case for coalescing).
+Both modes are timed after a warm-up round, so pool spawn and graph
+publication are setup cost, not serving cost.
+"""
+
+import asyncio
+import os
+import time
+
+from repro.engine import batched_local_mixing_times
+from repro.graphs import random_regular
+from repro.service import MixingQuery, MixingService
+from repro.utils import format_table
+
+BETA = 4.0
+CLIENT_COUNTS = (1, 8, 64)
+
+
+def serve(g, sources, *, max_batch, window, n_workers=None):
+    """Answer one query per source on a fresh service; returns
+    (results, wall seconds, service stats).  With ``n_workers`` the
+    service shards coalesced batches on its own persistent pool (warmed —
+    along with the thread pool — by an untimed round first)."""
+
+    async def main():
+        async with MixingService(
+            cache_size=0,
+            window=window,
+            max_batch=max_batch,
+            n_workers=n_workers,
+        ) as svc:
+            await svc.submit_many(
+                [MixingQuery(g, s, beta=BETA) for s in sources[:2]]
+            )
+            warm_batches = svc.stats()["coalescer"]["batches"]
+            t0 = time.perf_counter()
+            res = await svc.submit_many(
+                [MixingQuery(g, s, beta=BETA) for s in sources]
+            )
+            dt = time.perf_counter() - t0
+            stats = svc.stats()
+            stats["timed_batches"] = (
+                stats["coalescer"]["batches"] - warm_batches
+            )
+            return res, dt, stats
+
+    return asyncio.run(main())
+
+
+def test_v1_serving(record_table, quick_mode):
+    n, d = (120, 6) if quick_mode else (400, 8)
+    g = random_regular(n, d, seed=1)
+    direct = batched_local_mixing_times(g, BETA)
+
+    if hasattr(os, "sched_getaffinity"):
+        cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - macOS/Windows
+        cores = os.cpu_count() or 1
+
+    # The coalesced service shards its batches on a worker pool when the
+    # host can actually parallelize (per-query batches are single-source,
+    # so a pool could never help that mode).
+    workers = min(4, cores) if cores >= 2 and not quick_mode else None
+    rows = []
+    speedups = {}
+    for c in CLIENT_COUNTS:
+        sources = [s % g.n for s in range(c)]
+        per_query, t_pq, _ = serve(g, sources, max_batch=1, window=0.0)
+        coalesced, t_co, stats = serve(
+            g, sources, max_batch=c, window=0.005, n_workers=workers
+        )
+        # Identity is unconditional: any batch composition must reproduce
+        # the direct engine call bitwise, source by source.
+        expect = [direct[s] for s in sources]
+        assert per_query == expect, f"C={c}: per-query dispatch diverged"
+        assert coalesced == expect, f"C={c}: coalesced dispatch diverged"
+        speedups[c] = t_pq / t_co
+        rows.append(
+            [
+                f"C={c}",
+                stats["timed_batches"],
+                c,
+                f"{t_pq:.3f}",
+                f"{t_co:.3f}",
+                f"{c / t_pq:.1f}",
+                f"{c / t_co:.1f}",
+                f"{speedups[c]:.2f}x",
+            ]
+        )
+
+    if not quick_mode and cores >= 2:
+        assert speedups[64] >= 3.0, (
+            f"64-client coalescing speedup {speedups[64]:.2f}x below the "
+            f"3x target on {cores} cores"
+        )
+
+    table = format_table(
+        [
+            "clients",
+            "engine calls",
+            "(per-query)",
+            "per-query s",
+            "coalesced s",
+            "q/s per-query",
+            "q/s coalesced",
+            "speedup",
+        ],
+        rows,
+        title=(
+            f"V1: serving throughput, coalesced vs per-query dispatch — "
+            f"distinct-source clients on a {n}-node {d}-regular graph, "
+            f"tau(beta={BETA}) per query, result cache off (identity vs "
+            f"the direct engine asserted at every C; host cores: {cores})"
+        ),
+    )
+    record_table("v1_serving", table)

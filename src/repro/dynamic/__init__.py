@@ -36,6 +36,7 @@ from repro.dynamic.tracker import (
     MixingTracker,
     TrackedSnapshot,
     TrackingTrace,
+    edit_distance_bounds,
     track_local_mixing,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "MixingTracker",
     "TrackedSnapshot",
     "TrackingTrace",
+    "edit_distance_bounds",
     "track_local_mixing",
 ]

@@ -78,7 +78,13 @@ from repro.graphs.properties import multi_source_distances
 from repro.engine.batch import batched_local_mixing_times
 from repro.dynamic.graph import DynamicGraph, GraphUpdate
 
-__all__ = ["MixingTracker", "TrackedSnapshot", "TrackingTrace", "track_local_mixing"]
+__all__ = [
+    "MixingTracker",
+    "TrackedSnapshot",
+    "TrackingTrace",
+    "edit_distance_bounds",
+    "track_local_mixing",
+]
 
 #: Sentinel distance for nodes no edit can reach.
 _FAR = np.iinfo(np.int64).max
@@ -138,6 +144,42 @@ def _changed_nodes(a: Graph, b: Graph) -> np.ndarray:
     keys_b = np.repeat(np.arange(n), np.diff(b.indptr)) * n + b.indices
     diff = np.setxor1d(keys_a, keys_b, assume_unique=True)
     return np.unique(diff // n)
+
+
+def edit_distance_bounds(prev_g: Graph, g: Graph) -> np.ndarray:
+    """Per node ``s``, the distance from ``s`` to the nearest *edited* node,
+    minimized over both snapshots (``_FAR``-like ``iinfo.max`` when no edit
+    is reachable from ``s`` in either graph).
+
+    This is the locality-pruning radius shared by the incremental
+    :class:`MixingTracker` and the serving layer's
+    :class:`~repro.service.GraphRegistry` cache carry-forward: a uniform-
+    target result for source ``s`` with local mixing time ``τ_s`` computed
+    on ``prev_g`` is provably still exact on ``g`` whenever
+    ``τ_s <= bounds[s]`` — every edit then sits at distance ``≥ τ_s`` from
+    ``s`` in both snapshots, so the trajectory prefix ``p_0 … p_{τ_s}``
+    (and with it every ``(t, R)`` decision up to the stopping point) is
+    bitwise unchanged (see the module docstring for the walk argument).
+    Under ``target="degree"`` the caller must additionally check that the
+    degree vector is unchanged before relying on this bound.
+
+    Raises :class:`ValueError` when the two graphs differ in node count —
+    the relabelling a join/leave implies breaks the per-node correspondence
+    this bound needs.
+    """
+    if prev_g.n != g.n:
+        raise ValueError(
+            f"edit_distance_bounds needs same-n snapshots, got "
+            f"{prev_g.n} vs {g.n}"
+        )
+    touched = _changed_nodes(prev_g, g)
+    if touched.size == 0:
+        return np.full(g.n, _FAR, dtype=np.int64)
+    d_old = multi_source_distances(prev_g, touched)
+    d_new = multi_source_distances(g, touched)
+    return np.minimum(
+        np.where(d_old < 0, _FAR, d_old), np.where(d_new < 0, _FAR, d_new)
+    )
 
 
 class MixingTracker:
@@ -369,12 +411,7 @@ class MixingTracker:
             # docstring); re-solve the snapshot in full.
             self.stats["full_solves"] += 1
             return tuple(self._solve_full(g)), 0, g.n
-        touched = _changed_nodes(prev_g, g)
-        d_old = multi_source_distances(prev_g, touched)
-        d_new = multi_source_distances(g, touched)
-        dmin = np.minimum(
-            np.where(d_old < 0, _FAR, d_old), np.where(d_new < 0, _FAR, d_new)
-        )
+        dmin = edit_distance_bounds(prev_g, g)
         # Source s is provably unaffected iff every edited node lies at
         # distance >= τ_s in both snapshots: p_t only involves degrees and
         # neighbor lists of nodes walks visit in their first t-1 steps —

@@ -54,10 +54,12 @@ from repro.engine.oracle import (
     BatchedUniformDeviationOracle,
 )
 from repro.engine.batch import (
+    TimesKey,
     batched_local_mixing_profiles,
     batched_local_mixing_times,
     batched_local_mixing_spectra,
     batched_mixing_times,
+    canonical_times_key,
 )
 
 __all__ = [
@@ -73,4 +75,6 @@ __all__ = [
     "batched_local_mixing_spectra",
     "batched_local_mixing_profiles",
     "batched_mixing_times",
+    "TimesKey",
+    "canonical_times_key",
 ]

@@ -36,7 +36,7 @@ falls back to a per-source trajectory loop.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -54,6 +54,8 @@ __all__ = [
     "batched_local_mixing_spectra",
     "batched_local_mixing_profiles",
     "batched_mixing_times",
+    "TimesKey",
+    "canonical_times_key",
 ]
 
 #: Relative slack above the stopping threshold under which a fast bound is
@@ -140,6 +142,92 @@ def _prepare_times_call(
     src = _normalize_sources(g, sources)
     t_max = _resolve_walk_bounds(g, lazy, t_max)
     return src, candidates, t_max
+
+
+class TimesKey(NamedTuple):
+    """The canonical, hashable identity of a τ computation's *semantics*.
+
+    Two :func:`batched_local_mixing_times` calls on the same graph whose
+    knobs canonicalize to the same :class:`TimesKey` produce identical
+    per-source results: the driver's decisions depend on the knobs only
+    through the resolved candidate-size grid, the stopping ``threshold``
+    (``eps · threshold_factor``), the step schedule / resolved ``t_max``,
+    the walk operator (``lazy``) and the semantics flags — not through the
+    raw ``(beta, eps, sizes, grid_factor, …)`` spellings, nor through the
+    execution-only knobs ``batch_size`` and ``prefilter`` (which the
+    loop-equivalence contract guarantees cannot change any output).  The
+    serving layer's :class:`~repro.service.ResultCache` keys on
+    ``(graph, source, TimesKey)`` for exactly this reason.
+    """
+
+    sizes: tuple[int, ...]
+    threshold: float
+    t_schedule: str
+    t_max: int
+    lazy: bool
+    require_source: bool
+    target: str
+    method: str
+
+
+def canonical_times_key(
+    g: Graph,
+    beta: float,
+    eps: float = DEFAULT_EPS,
+    *,
+    sizes: str | list[int] = "all",
+    threshold_factor: float = 1.0,
+    grid_factor: float | None = None,
+    t_schedule: str = "all",
+    t_max: int | None = None,
+    lazy: bool = False,
+    require_source: bool = False,
+    target: str = "uniform",
+    method: str = "iterative",
+    batch_size: int | None = None,
+    prefilter: str = "fused",
+) -> TimesKey:
+    """Validate a full :func:`batched_local_mixing_times` knob set against
+    ``g`` and collapse it to its canonical :class:`TimesKey`.
+
+    Runs the same fail-fast validation head as the drivers
+    (:func:`_prepare_times_call` — so a bad knob raises here with the same
+    message it would raise from the engine), then resolves every
+    graph-dependent default: ``sizes``/``beta``/``grid_factor`` become the
+    explicit candidate-size tuple, ``eps``/``threshold_factor`` the stopping
+    threshold, and ``t_max`` its resolved walk bound.  ``batch_size`` and
+    ``prefilter`` are validated but deliberately *absent* from the key —
+    they partition work, never change results.
+    """
+    # sources=[0]: the key is source-independent, and normalizing the
+    # default all-sources list would cost O(n) per key computation (the
+    # serving layer derives one key per submitted query).
+    _, candidates, t_max = _prepare_times_call(
+        g,
+        beta,
+        eps,
+        sources=[0],
+        sizes=sizes,
+        threshold_factor=threshold_factor,
+        grid_factor=grid_factor,
+        t_schedule=t_schedule,
+        t_max=t_max,
+        lazy=lazy,
+        target=target,
+        method=method,
+        batch_size=batch_size,
+        prefilter=prefilter,
+    )
+    return TimesKey(
+        sizes=tuple(int(r) for r in candidates),
+        threshold=float(eps * threshold_factor),
+        t_schedule=t_schedule,
+        t_max=int(t_max),
+        lazy=bool(lazy),
+        require_source=bool(require_source),
+        target=target,
+        method=method,
+    )
 
 
 def _prepare_profiles_call(

@@ -21,6 +21,7 @@ operator and reused by every caller.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, NamedTuple, Sequence
 
@@ -47,6 +48,13 @@ _cache: OrderedDict[tuple[Graph, bool], SpectralPropagator] = OrderedDict()
 _cache_maxsize = _DEFAULT_CACHE_MAXSIZE
 _cache_hits = 0
 _cache_misses = 0
+#: Guards every mutation of the shared cache (lookup/insert/evict, clear,
+#: re-bound): the async serving layer runs engine calls on a thread pool,
+#: so concurrent solves share this process-wide state.  The eigendecomposition
+#: itself is computed OUTSIDE the lock — a long solve must not serialize
+#: unrelated graphs — so two threads racing on the same new key may both
+#: decompose, and the insert keeps the first-published instance.
+_cache_lock = threading.RLock()
 
 
 class PropagatorCacheInfo(NamedTuple):
@@ -74,16 +82,24 @@ def shared_spectral_propagator(g: Graph, lazy: bool = False) -> SpectralPropagat
     """
     global _cache_hits, _cache_misses
     key = (g, lazy)
-    prop = _cache.get(key)
-    if prop is not None:
-        _cache_hits += 1
-        _cache.move_to_end(key)
-        return prop
-    _cache_misses += 1
+    with _cache_lock:
+        prop = _cache.get(key)
+        if prop is not None:
+            _cache_hits += 1
+            _cache.move_to_end(key)
+            return prop
+        _cache_misses += 1
     prop = SpectralPropagator(g, lazy=lazy)
-    _cache[key] = prop
-    while len(_cache) > _cache_maxsize:
-        _cache.popitem(last=False)
+    with _cache_lock:
+        raced = _cache.get(key)
+        if raced is not None:
+            # Another thread published the same structure while we were
+            # decomposing; keep one instance so callers share memory.
+            _cache.move_to_end(key)
+            return raced
+        _cache[key] = prop
+        while len(_cache) > _cache_maxsize:
+            _cache.popitem(last=False)
     return prop
 
 
@@ -93,9 +109,10 @@ def clear_propagator_cache() -> None:
     Dynamic-network workloads stream many structurally distinct snapshots
     through the engine; this releases the dense eigenbases they pinned."""
     global _cache_hits, _cache_misses
-    _cache.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
 
 
 def set_propagator_cache_maxsize(maxsize: int) -> None:
@@ -106,16 +123,18 @@ def set_propagator_cache_maxsize(maxsize: int) -> None:
     global _cache_maxsize
     if maxsize < 0:
         raise ValueError("maxsize must be >= 0")
-    _cache_maxsize = int(maxsize)
-    while len(_cache) > _cache_maxsize:
-        _cache.popitem(last=False)
+    with _cache_lock:
+        _cache_maxsize = int(maxsize)
+        while len(_cache) > _cache_maxsize:
+            _cache.popitem(last=False)
 
 
 def propagator_cache_info() -> PropagatorCacheInfo:
     """Current ``(hits, misses, maxsize, currsize)`` of the shared cache."""
-    return PropagatorCacheInfo(
-        _cache_hits, _cache_misses, _cache_maxsize, len(_cache)
-    )
+    with _cache_lock:
+        return PropagatorCacheInfo(
+            _cache_hits, _cache_misses, _cache_maxsize, len(_cache)
+        )
 
 
 def _one_hot_block(n: int, sources: np.ndarray) -> np.ndarray:

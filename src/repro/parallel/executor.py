@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
@@ -130,7 +131,9 @@ def _resolve_graph(handle: SharedCSRHandle) -> Graph:
 def _solve_shard(
     handle: SharedCSRHandle, kind: str, shard: list[int], kwargs: dict
 ):
-    """Worker kernel: one batched-engine call on this worker's source shard.
+    """Worker kernel: one batched-engine call on this worker's source shard,
+    returned as ``(worker_pid, results)`` so the parent can attribute the
+    solve in :meth:`ShardExecutor.stats`.
 
     The batched drivers are reused as-is — the shard's block is exactly the
     single-process engine's chunk for these sources, so per-source outputs
@@ -143,22 +146,24 @@ def _solve_shard(
 
     g = _resolve_graph(handle)
     if kind == "times":
-        return batched_local_mixing_times(g, sources=shard, **kwargs)
-    if kind == "spectra":
-        return batched_local_mixing_spectra(g, sources=shard, **kwargs)
-    if kind == "profiles":
-        return batched_local_mixing_profiles(g, sources=shard, **kwargs)
-    raise ValueError(f"unknown shard kind {kind!r}")
+        out = batched_local_mixing_times(g, sources=shard, **kwargs)
+    elif kind == "spectra":
+        out = batched_local_mixing_spectra(g, sources=shard, **kwargs)
+    elif kind == "profiles":
+        out = batched_local_mixing_profiles(g, sources=shard, **kwargs)
+    else:
+        raise ValueError(f"unknown shard kind {kind!r}")
+    return os.getpid(), out
 
 
 def _map_shard(handle: SharedCSRHandle | None, fn: Callable, chunk: list):
     """Worker kernel for :func:`~repro.parallel.api.shard_map`: apply ``fn``
     to every item of the chunk (with the shared graph prepended when the
-    caller published one)."""
+    caller published one); returns ``(worker_pid, results)``."""
     if handle is None:
-        return [fn(item) for item in chunk]
+        return os.getpid(), [fn(item) for item in chunk]
     g = _resolve_graph(handle)
-    return [fn(g, item) for item in chunk]
+    return os.getpid(), [fn(g, item) for item in chunk]
 
 
 # ---------------------------------------------------------------------- #
@@ -189,7 +194,9 @@ class ShardExecutor:
 
     Use as a context manager (or call :meth:`close`) so the pool and every
     shared segment are torn down deterministically; tests assert that after
-    :meth:`close` no published segment can be re-attached.
+    :meth:`close` no published segment can be re-attached.  One executor
+    may be driven from several threads (the async serving layer does):
+    publication, the utilization counters and teardown are lock-protected.
     """
 
     def __init__(
@@ -218,6 +225,17 @@ class ShardExecutor:
         self._published: "OrderedDict[Graph, SharedCSR]" = OrderedDict()
         self._max_published = int(max_published)
         self._closed = False
+        # The async serving layer calls one executor from several engine
+        # worker threads at once; publication, the stats counters and
+        # teardown share this lock (the pool's own submit is thread-safe).
+        self._lock = threading.RLock()
+        self._stats: dict = {
+            "calls": 0,
+            "tasks_dispatched": 0,
+            "items_processed": 0,
+            "per_worker_solves": {},
+            "last_shard_sizes": [],
+        }
 
     # -------------------------------------------------------------- #
     # Graph publication
@@ -228,22 +246,24 @@ class ShardExecutor:
         structure: :class:`Graph` hashes by its CSR bytes, so a revisited
         dynamic-snapshot topology reuses its existing segment)."""
         self._check_open()
-        shared = self._published.get(g)
-        if shared is None:
-            shared = SharedCSR.publish(g)
-            self._published[g] = shared
-            while len(self._published) > self._max_published:
-                _, old = self._published.popitem(last=False)
-                old.unlink()
-                old.close()
-        else:
-            self._published.move_to_end(g)
-        return shared.handle
+        with self._lock:
+            shared = self._published.get(g)
+            if shared is None:
+                shared = SharedCSR.publish(g)
+                self._published[g] = shared
+                while len(self._published) > self._max_published:
+                    _, old = self._published.popitem(last=False)
+                    old.unlink()
+                    old.close()
+            else:
+                self._published.move_to_end(g)
+            return shared.handle
 
     def release(self, g: Graph) -> None:
         """Unlink ``g``'s segment now instead of waiting for :meth:`close`
         (workers' existing mappings stay valid until they rotate out)."""
-        shared = self._published.pop(g, None)
+        with self._lock:
+            shared = self._published.pop(g, None)
         if shared is not None:
             shared.unlink()
             shared.close()
@@ -280,9 +300,10 @@ class ShardExecutor:
             for lo, hi in bounds
         ]
         parts = [f.result() for f in futures]
+        self._record_dispatch(bounds, (pid for pid, _ in parts))
         if kind == "profiles":
-            return np.vstack(parts)
-        return [res for part in parts for res in part]
+            return np.vstack([part for _, part in parts])
+        return [res for _, part in parts for res in part]
 
     def map_items(
         self,
@@ -309,7 +330,41 @@ class ShardExecutor:
             self._pool.submit(_map_shard, handle, fn, items[lo:hi])
             for lo, hi in bounds
         ]
-        return [res for f in futures for res in f.result()]
+        parts = [f.result() for f in futures]
+        self._record_dispatch(bounds, (pid for pid, _ in parts))
+        return [res for _, part in parts for res in part]
+
+    def _record_dispatch(self, bounds, worker_pids) -> None:
+        """Fold one sharded call into the utilization counters."""
+        sizes = [hi - lo for lo, hi in bounds]
+        with self._lock:
+            self._stats["calls"] += 1
+            self._stats["tasks_dispatched"] += len(sizes)
+            self._stats["items_processed"] += sum(sizes)
+            self._stats["last_shard_sizes"] = sizes
+            per_worker = self._stats["per_worker_solves"]
+            for pid in worker_pids:
+                per_worker[pid] = per_worker.get(pid, 0) + 1
+
+    def stats(self) -> dict:
+        """Utilization counters since construction (a snapshot copy).
+
+        Keys: ``calls`` (sharded submissions — ``run_sharded`` +
+        ``map_items``), ``tasks_dispatched`` (shard tasks sent to the
+        pool), ``items_processed`` (sources/items across all tasks),
+        ``per_worker_solves`` (``{worker_pid: completed shard tasks}`` —
+        how evenly the pool was used), ``last_shard_sizes`` (the shard
+        partition of the most recent call), plus ``n_workers`` and
+        ``published_graphs``.  The serving layer and ``bench_s1`` report
+        these; they never affect results.
+        """
+        with self._lock:
+            out = dict(self._stats)
+            out["per_worker_solves"] = dict(self._stats["per_worker_solves"])
+            out["last_shard_sizes"] = list(self._stats["last_shard_sizes"])
+            out["n_workers"] = self.n_workers
+            out["published_graphs"] = len(self._published)
+            return out
 
     def _resolve_shards(self, n_shards: int | None) -> int:
         """Default the shard count to the pool size; an explicit value
@@ -332,14 +387,16 @@ class ShardExecutor:
         """Shut the pool down and unlink every published segment
         (idempotent).  After this returns, no segment this executor
         published can be attached again."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._pool.shutdown(wait=True)
-        for shared in self._published.values():
-            shared.unlink()
-            shared.close()
-        self._published.clear()
+        with self._lock:
+            for shared in self._published.values():
+                shared.unlink()
+                shared.close()
+            self._published.clear()
 
     def __enter__(self) -> "ShardExecutor":
         return self

@@ -1,0 +1,194 @@
+"""Micro-batch coalescing of concurrently arriving single-source queries.
+
+``k`` clients asking for ``τ_s`` of ``k`` different sources on the same
+graph under the same knobs should cost **one** block solve — that is the
+entire point of the batched engine — but a naive query front end would
+dispatch ``k`` independent single-source calls, re-propagating the whole
+trajectory per client.  The :class:`QueryCoalescer` closes that gap: it
+holds each arriving query for at most a (tiny) time window, groups queries
+by ``(graph, ExecutionKey)``, and flushes a group as one
+:func:`~repro.engine.batch.batched_local_mixing_times` /
+:func:`~repro.parallel.parallel_local_mixing_times` call when either
+
+* the **window** elapses (``window`` seconds after the group's first
+  query arrived), or
+* the group reaches **max_batch** distinct sources (flushed immediately —
+  a full block is ready), or
+* the service drains on shutdown (:meth:`QueryCoalescer.drain`).
+
+Correctness is inherited, not negotiated: the engine's loop-equivalence
+guarantee makes every per-source result of a batched call identical to
+the corresponding single-source call, so coalescing changes wall-clock
+and nothing else — any batch composition yields bitwise the answers each
+client would have gotten alone.
+
+The coalescer is event-loop-affine: all bookkeeping runs on the loop
+thread, and only the solve itself is pushed to a worker thread
+(``asyncio.to_thread``), where the engine's thread-safe shared caches
+apply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.graphs.base import Graph
+
+__all__ = ["QueryCoalescer"]
+
+
+class _Group:
+    """One pending micro-batch: distinct sources (insertion-ordered, each
+    with its waiters) plus the representative engine kwargs and the armed
+    flush timer."""
+
+    __slots__ = ("graph", "kwargs", "pending", "timer")
+
+    def __init__(self, graph: Graph, kwargs: dict):
+        self.graph = graph
+        self.kwargs = kwargs
+        self.pending: dict[int, list[asyncio.Future]] = {}
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class QueryCoalescer:
+    """Group concurrent single-source queries into batched engine calls.
+
+    Parameters
+    ----------
+    solve:
+        ``solve(graph, sources, kwargs) -> list[LocalMixingResult]`` — the
+        blocking batch solver, executed on a worker thread.  ``kwargs`` is
+        the engine knob dictionary of the group's *first* query; any group
+        member's kwargs would do, because group membership requires equal
+        canonical keys and the engine's results depend on knobs only
+        through that canonicalization.
+    window:
+        Seconds a group's first query waits for company before the group
+        is flushed (``0`` still coalesces bursts submitted in the same
+        event-loop turn: the flush runs as a zero-delay callback).
+    max_batch:
+        Distinct-source bound per group; reaching it flushes immediately.
+    """
+
+    def __init__(
+        self,
+        solve: Callable,
+        *,
+        window: float = 0.002,
+        max_batch: int = 64,
+    ):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._solve = solve
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._groups: dict[tuple, _Group] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._stats = {
+            "queries": 0,
+            "batches": 0,
+            "window_flushes": 0,
+            "size_flushes": 0,
+            "drain_flushes": 0,
+            "largest_batch": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Enqueue + flush machinery
+    # ------------------------------------------------------------------ #
+
+    def enqueue(
+        self, graph: Graph, exec_key, source: int, kwargs: dict
+    ) -> "asyncio.Future":
+        """Admit one query and return the future its result will land on.
+
+        Must be called on the event loop.  The first query of a new
+        ``(graph, exec_key)`` group arms the window timer; the
+        ``max_batch``-th distinct source flushes the group synchronously
+        (the solve itself still runs as a background task).
+        """
+        loop = asyncio.get_running_loop()
+        key = (graph, exec_key)
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(graph, dict(kwargs))
+            self._groups[key] = group
+            group.timer = loop.call_later(
+                self.window, self._flush, key, "window_flushes"
+            )
+        fut: asyncio.Future = loop.create_future()
+        group.pending.setdefault(int(source), []).append(fut)
+        self._stats["queries"] += 1
+        if len(group.pending) >= self.max_batch:
+            self._flush(key, "size_flushes")
+        return fut
+
+    def _flush(self, key: tuple, reason: str) -> None:
+        """Detach the group (if still pending) and start its batch solve."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # already flushed by the other trigger
+        if group.timer is not None:
+            group.timer.cancel()
+        self._stats["batches"] += 1
+        self._stats[reason] += 1
+        self._stats["largest_batch"] = max(
+            self._stats["largest_batch"], len(group.pending)
+        )
+        task = asyncio.ensure_future(self._run_batch(group))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, group: _Group) -> None:
+        """Solve one detached group on a worker thread and fan the
+        per-source results (or the failure) out to every waiter."""
+        sources = list(group.pending)  # insertion order, distinct
+        try:
+            results = await asyncio.to_thread(
+                self._solve, group.graph, sources, group.kwargs
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded, not handled
+            for waiters in group.pending.values():
+                for fut in waiters:
+                    if not fut.done():
+                        fut.set_exception(exc)
+            return
+        for source, result in zip(sources, results):
+            for fut in group.pending[source]:
+                if not fut.done():
+                    fut.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle + stats
+    # ------------------------------------------------------------------ #
+
+    def flush_all(self) -> None:
+        """Flush every pending group now (drain trigger); running batches
+        are unaffected."""
+        for key in list(self._groups):
+            self._flush(key, "drain_flushes")
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for all in-flight batch tasks
+        to finish (their waiters are then all resolved)."""
+        self.flush_all()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def stats(self) -> dict:
+        """Coalescing counters: ``queries``, ``batches`` (engine calls),
+        flush-trigger breakdown, ``largest_batch``, and the derived
+        ``coalesced`` (queries answered without their own engine call) and
+        currently ``pending`` queries."""
+        out = dict(self._stats)
+        out["coalesced"] = out["queries"] - out["batches"] - sum(
+            len(w) for g in self._groups.values() for w in g.pending.values()
+        )
+        out["pending"] = sum(
+            len(w) for g in self._groups.values() for w in g.pending.values()
+        )
+        return out

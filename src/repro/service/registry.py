@@ -1,0 +1,161 @@
+"""Named-graph registry with dynamic-snapshot change tracking.
+
+A :class:`GraphRegistry` lets clients address graphs symbolically — a
+query carries ``graph="social"`` instead of the object — and is the
+serving layer's integration point with :mod:`repro.dynamic`:
+
+* a registered static :class:`~repro.graphs.base.Graph` resolves to
+  itself, forever;
+* a registered :class:`~repro.dynamic.DynamicGraph` resolves to its
+  *current* ``snapshot()`` — and whenever that snapshot differs from the
+  one served last, the registry computes the locality radius of the edit
+  (:func:`~repro.dynamic.tracker.edit_distance_bounds`) and notifies its
+  change listeners with ``(prev_snapshot, new_snapshot, dmin,
+  degrees_equal)``.  The :class:`~repro.service.MixingService` wires a
+  listener that carries provably-unaffected cache entries forward
+  (:meth:`~repro.service.cache.ResultCache.carry_forward`), so a mutation
+  invalidates only the sources it can actually reach — the dirty set —
+  exactly mirroring the incremental tracker's pruning argument.
+
+Unregistered objects pass through: a query may always carry a ``Graph``
+or ``DynamicGraph`` directly, and direct ``DynamicGraph`` objects get the
+same change tracking (keyed by object identity) as registered ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.tracker import edit_distance_bounds
+from repro.graphs.base import Graph
+
+__all__ = ["GraphRegistry"]
+
+
+class GraphRegistry:
+    """Resolve query graph references (names, graphs, dynamic graphs) to
+    concrete immutable snapshots, reporting dynamic-graph changes.
+
+    Change listeners are callables
+    ``listener(prev_g, new_g, dmin, degrees_equal)`` invoked synchronously
+    from :meth:`resolve` when a tracked dynamic graph's snapshot moved to
+    a different same-``n`` structure (``dmin`` is
+    :func:`~repro.dynamic.tracker.edit_distance_bounds` of the pair).  A
+    node-count change carries no per-node correspondence, so listeners are
+    not called for it — dependent caches simply miss on the new structure.
+
+    Parameters
+    ----------
+    max_tracked:
+        How many dynamic graphs to keep change-tracking state for (each
+        entry pins the graph and its last-served snapshot).  Queries that
+        carry transient ``DynamicGraph`` objects directly would otherwise
+        grow the map without bound; evicting an entry is always sound —
+        the next resolve simply starts fresh, forgoing one carry-forward
+        opportunity, never correctness.
+    """
+
+    def __init__(self, *, max_tracked: int = 64):
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
+        self._named: dict[str, Graph | DynamicGraph] = {}
+        #: Last snapshot served per tracked DynamicGraph, LRU-bounded (by
+        #: object id; the value also pins the object so the id cannot be
+        #: recycled while the entry lives).
+        self._tracked: "OrderedDict[int, tuple[DynamicGraph, Graph]]" = (
+            OrderedDict()
+        )
+        self._max_tracked = int(max_tracked)
+        self._listeners: list[Callable] = []
+        self._stats = {"changes": 0, "n_changes": 0, "resolves": 0}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, graph: Graph | DynamicGraph) -> None:
+        """Register ``graph`` under ``name`` (re-registering a name is an
+        error unless it is the same object)."""
+        if not isinstance(name, str) or not name:
+            raise ValueError("graph name must be a non-empty string")
+        if not isinstance(graph, (Graph, DynamicGraph)):
+            raise TypeError("graph must be a Graph or DynamicGraph")
+        existing = self._named.get(name)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph name {name!r} already registered")
+        self._named[name] = graph
+
+    def unregister(self, name: str) -> None:
+        """Remove a name (its change-tracking state is dropped too)."""
+        graph = self._named.pop(name, None)
+        if isinstance(graph, DynamicGraph) and graph not in [
+            g for g in self._named.values() if isinstance(g, DynamicGraph)
+        ]:
+            self._tracked.pop(id(graph), None)
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._named)
+
+    def add_listener(self, listener: Callable) -> None:
+        """Subscribe to dynamic-snapshot changes (see the class docstring
+        for the callback signature)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, ref: "str | Graph | DynamicGraph") -> Graph:
+        """The immutable :class:`Graph` a query against ``ref`` must be
+        answered on *right now*.
+
+        Strings look up registered objects; a :class:`Graph` is returned
+        as-is; a :class:`DynamicGraph` (registered or direct) is
+        snapshotted, and a changed snapshot fires the change listeners
+        before the new snapshot is returned.
+        """
+        self._stats["resolves"] += 1
+        if isinstance(ref, str):
+            obj = self._named.get(ref)
+            if obj is None:
+                raise KeyError(f"no graph registered under {ref!r}")
+            ref = obj
+        if isinstance(ref, Graph):
+            return ref
+        if not isinstance(ref, DynamicGraph):
+            raise TypeError(
+                f"cannot resolve {type(ref).__name__} to a graph"
+            )
+        new = ref.snapshot()
+        tracked = self._tracked.get(id(ref))
+        prev = tracked[1] if tracked is not None else None
+        if prev is not None and prev is not new:
+            if prev.n == new.n:
+                self._stats["changes"] += 1
+                dmin = edit_distance_bounds(prev, new)
+                degrees_equal = bool(
+                    np.array_equal(prev.degrees, new.degrees)
+                )
+                for listener in self._listeners:
+                    listener(prev, new, dmin, degrees_equal)
+            else:
+                self._stats["n_changes"] += 1
+        self._tracked[id(ref)] = (ref, new)
+        self._tracked.move_to_end(id(ref))
+        while len(self._tracked) > self._max_tracked:
+            self._tracked.popitem(last=False)
+        return new
+
+    def stats(self) -> dict:
+        """Counters: ``resolves``, ``changes`` (same-``n`` snapshot moves
+        reported to listeners), ``n_changes`` (node-count moves), plus the
+        current ``registered`` and ``tracked`` graph counts."""
+        out = dict(self._stats)
+        out["registered"] = len(self._named)
+        out["tracked"] = len(self._tracked)
+        return out

@@ -1,0 +1,246 @@
+"""The async serving front door.
+
+:class:`MixingService` turns the batch/parallel engines into a query
+server: clients ``await service.submit(MixingQuery(...))`` concurrently,
+and the service answers each query through a three-stage pipeline —
+
+1. **Cache** — the :class:`~repro.service.cache.ResultCache` is consulted
+   under the canonical key ``(snapshot, source, TimesKey)``; revisited
+   graphs/knobs (including structurally revisited dynamic snapshots) are
+   answered without touching the engine.
+2. **In-flight dedup** — a query identical to one currently being solved
+   awaits the *same* future instead of submitting again, so a thundering
+   herd on one hot source costs one solve.
+3. **Coalescing** — remaining queries enter the
+   :class:`~repro.service.coalescer.QueryCoalescer`, which micro-batches
+   concurrent queries sharing ``(graph, knobs)`` into single
+   :func:`~repro.engine.batch.batched_local_mixing_times` calls — routed
+   through :func:`~repro.parallel.parallel_local_mixing_times` on a
+   :class:`~repro.parallel.ShardExecutor` when the service was configured
+   with workers.
+
+Every stage preserves the library's equivalence discipline: a served
+answer is **bitwise identical** to the direct engine call for that
+``(graph, source, knobs)`` triple — cache hits return the object an
+identical engine call produced, deduped queries share one such object,
+and coalesced batches inherit the engine's loop-equivalence guarantee.
+
+The service is an async context manager; leaving the context (or calling
+:meth:`MixingService.aclose`) drains the coalescer — every admitted query
+is answered, never dropped — and closes a worker pool the service created
+for itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.engine.batch import batched_local_mixing_times
+from repro.graphs.base import Graph
+from repro.service.cache import ResultCache
+from repro.service.coalescer import QueryCoalescer
+from repro.service.query import ExecutionKey, MixingQuery
+from repro.service.registry import GraphRegistry
+
+__all__ = ["MixingService"]
+
+
+class MixingService:
+    """Serve local-mixing queries with micro-batching and structural
+    caching on top of the batched/parallel engines.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.service.registry.GraphRegistry` to resolve
+        query graph references against (one is created when omitted).  The
+        service subscribes a change listener that carries cache entries
+        across dynamic-graph mutations (dirty sources only are dropped).
+    cache_size:
+        Bound of the :class:`~repro.service.cache.ResultCache`
+        (``0`` disables result caching).
+    window:
+        Coalescing window in seconds — how long a query waits for
+        companions before its batch is flushed.
+    max_batch:
+        Flush a batch immediately once it holds this many distinct
+        sources.
+    executor:
+        Optional :class:`~repro.parallel.ShardExecutor`: coalesced batches
+        with more than one source are then solved by
+        :func:`~repro.parallel.parallel_local_mixing_times` on the pool
+        (the executor is *not* owned — the caller closes it).
+    n_workers:
+        Convenience alternative to ``executor``: the service lazily
+        creates (and owns, and closes on :meth:`aclose`) a
+        :class:`~repro.parallel.ShardExecutor` of this size.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: GraphRegistry | None = None,
+        cache_size: int = 4096,
+        window: float = 0.002,
+        max_batch: int = 64,
+        executor=None,
+        n_workers: int | None = None,
+    ):
+        if executor is not None and n_workers is not None:
+            raise ValueError("pass either executor or n_workers, not both")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.registry = registry if registry is not None else GraphRegistry()
+        self._cache = ResultCache(cache_size)
+        self._coalescer = QueryCoalescer(
+            self._solve_batch, window=window, max_batch=max_batch
+        )
+        self._executor = executor
+        self._owns_executor = False
+        self._n_workers = n_workers
+        # Guards lazy pool creation: batches solve on concurrent engine
+        # threads, and two must not each spawn (and one leak) a pool.
+        self._executor_lock = threading.Lock()
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._closed = False
+        self.registry.add_listener(self._on_graph_change)
+
+    # ------------------------------------------------------------------ #
+    # Query admission
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, query: MixingQuery):
+        """Answer one query (a
+        :class:`~repro.walks.local_mixing.LocalMixingResult` bitwise equal
+        to the direct engine call for the query's graph, source and
+        knobs).  Invalid knobs or sources raise the engine's own fail-fast
+        errors before any work is scheduled."""
+        if self._closed:
+            raise RuntimeError("MixingService is closed")
+        g = self.registry.resolve(query.graph)
+        source = int(query.source)
+        if not 0 <= source < g.n:
+            raise ValueError("source out of range")
+        tkey = query.semantic_key(g)
+        cache_key = (g, source, tkey)
+
+        # In-flight first: a key is in flight XOR cached XOR neither (the
+        # completion callback retires one and fills the other atomically
+        # on the loop), and dedup-served queries should not count as cache
+        # misses — they never cost a solve.
+        inflight = self._inflight.get(cache_key)
+        if inflight is not None:
+            self._cache.count_inflight_hit()
+            return await asyncio.shield(inflight)
+        cached = self._cache.get(*cache_key)
+        if cached is not None:
+            return cached
+
+        exec_key = ExecutionKey(
+            times=tkey,
+            batch_size=query.batch_size,
+            prefilter=query.prefilter,
+        )
+        fut = self._coalescer.enqueue(
+            g, exec_key, source, query.engine_kwargs()
+        )
+        self._inflight[cache_key] = fut
+        fut.add_done_callback(
+            lambda f, key=cache_key: self._finish(key, f)
+        )
+        # shield(): one client cancelling its await must not cancel the
+        # shared future other waiters (and the cache insert) hang off.
+        return await asyncio.shield(fut)
+
+    async def submit_many(self, queries) -> list:
+        """Answer many queries concurrently (results in query order) —
+        the natural way to hand the coalescer a full batch at once."""
+        return list(
+            await asyncio.gather(*(self.submit(q) for q in queries))
+        )
+
+    def _finish(self, cache_key: tuple, fut: asyncio.Future) -> None:
+        """Loop callback when a solve future resolves: retire the
+        in-flight entry and cache a successful result."""
+        self._inflight.pop(cache_key, None)
+        if not fut.cancelled() and fut.exception() is None:
+            g, source, tkey = cache_key
+            self._cache.put(g, source, tkey, fut.result())
+
+    # ------------------------------------------------------------------ #
+    # Solving + dynamic integration
+    # ------------------------------------------------------------------ #
+
+    def _solve_batch(self, g: Graph, sources: list[int], kwargs: dict):
+        """The coalescer's blocking solver (runs on a worker thread): one
+        batched engine call, sharded across the worker pool when one is
+        configured and the batch is big enough to gain from it.  A
+        single-source batch never touches (or lazily spawns) the pool."""
+        if len(sources) > 1:
+            ex = self._resolve_executor()
+            if ex is not None:
+                from repro.parallel import parallel_local_mixing_times
+
+                return parallel_local_mixing_times(
+                    g, sources=sources, executor=ex, **kwargs
+                )
+        return batched_local_mixing_times(g, sources=sources, **kwargs)
+
+    def _resolve_executor(self):
+        """The shard executor, lazily created when only ``n_workers`` was
+        given (``None`` when the service solves in-process).  Thread-safe:
+        concurrent batches race here, and exactly one pool may win."""
+        if self._executor is None and self._n_workers is not None:
+            with self._executor_lock:
+                if self._executor is None:
+                    from repro.parallel import ShardExecutor
+
+                    self._executor = ShardExecutor(self._n_workers)
+                    self._owns_executor = True
+        return self._executor
+
+    def _on_graph_change(self, prev_g, new_g, dmin, degrees_equal) -> None:
+        """Registry listener: carry provably-clean cache entries onto the
+        new snapshot so only dirty sources recompute."""
+        self._cache.carry_forward(
+            prev_g, new_g, dmin, degrees_equal=degrees_equal
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle + stats
+    # ------------------------------------------------------------------ #
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop admitting, drain the coalescer (every
+        admitted query resolves), close an owned worker pool.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._coalescer.drain()
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
+
+    async def __aenter__(self) -> "MixingService":
+        """Enter the serving context."""
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Drain and close on context exit."""
+        await self.aclose()
+
+    def stats(self) -> dict:
+        """One dictionary of every layer's counters: ``cache`` (hits /
+        misses / inflight dedup / carry-forward), ``coalescer`` (batches,
+        flush triggers, largest batch), ``registry`` (resolves, changes)
+        and — when a pool is attached — ``executor`` utilization."""
+        out = {
+            "cache": self._cache.stats(),
+            "coalescer": self._coalescer.stats(),
+            "registry": self.registry.stats(),
+        }
+        if self._executor is not None:
+            out["executor"] = self._executor.stats()
+        return out

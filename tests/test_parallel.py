@@ -300,6 +300,39 @@ def test_executor_rejects_bad_worker_count():
         ShardExecutor(0)
 
 
+def test_executor_stats_track_utilization(reg):
+    """stats() reports dispatched tasks, shard partitions and per-worker
+    solve attribution — and never perturbs results."""
+    with ShardExecutor(2) as ex:
+        assert ex.stats()["calls"] == 0
+        serial = batched_local_mixing_times(reg, BETA, sources=range(10))
+        par = parallel_local_mixing_times(
+            reg, BETA, sources=range(10), executor=ex
+        )
+        assert par == serial
+        st1 = ex.stats()
+        assert st1["calls"] == 1
+        assert st1["tasks_dispatched"] == 2  # one task per shard
+        assert st1["items_processed"] == 10
+        assert st1["last_shard_sizes"] == [5, 5]
+        assert sum(st1["per_worker_solves"].values()) == 2
+        assert st1["n_workers"] == 2 and st1["published_graphs"] == 1
+        # map_items counts too, and the counters accumulate.
+        shard_map(_stats_probe, list(range(7)), executor=ex)
+        st2 = ex.stats()
+        assert st2["calls"] == 2
+        assert st2["tasks_dispatched"] == 4
+        assert st2["items_processed"] == 17
+        assert st2["last_shard_sizes"] == [4, 3]
+        # The snapshot is a copy — mutating it cannot corrupt the executor.
+        st2["per_worker_solves"].clear()
+        assert sum(ex.stats()["per_worker_solves"].values()) == 4
+
+
+def _stats_probe(x):
+    return x * x
+
+
 # --------------------------------------------------------------------- #
 # Fail-fast knob validation (shared head of batched + parallel drivers)
 # --------------------------------------------------------------------- #

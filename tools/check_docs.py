@@ -35,7 +35,12 @@ ROOT = Path(__file__).resolve().parent.parent
 MARKDOWN_GLOBS = ["*.md", "docs/*.md"]
 
 #: Packages whose public APIs must be fully documented.
-DOCSTRING_PACKAGES = ["repro.engine", "repro.dynamic", "repro.parallel"]
+DOCSTRING_PACKAGES = [
+    "repro.engine",
+    "repro.dynamic",
+    "repro.parallel",
+    "repro.service",
+]
 
 #: Minimum docstring length to count as documentation, not a placeholder.
 MIN_DOCSTRING = 10
