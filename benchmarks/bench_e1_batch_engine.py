@@ -13,6 +13,12 @@ Claims (engine subsystem):
    search baseline (``prefilter="per_size"``), again with identical
    results.
 
+3. every registered compute backend (``available_backends()``) produces
+   results identical to the per-source loop — asserted unconditionally —
+   and the mixed-precision ``float32`` screening path's measured speedup
+   over the ``reference`` backend is reported (reported, not gated: the
+   win is instance- and BLAS-dependent, the identity is not).
+
 Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the instance and
 only asserts exactness plus nominal speedups, since shared runners time
 unreliably.
@@ -20,7 +26,7 @@ unreliably.
 
 import time
 
-from repro.engine import batched_local_mixing_times
+from repro.engine import available_backends, batched_local_mixing_times
 from repro.graphs import random_regular
 from repro.utils import format_table
 from repro.walks import local_mixing_time
@@ -76,3 +82,30 @@ def test_e1_batch_engine(record_table, quick_mode):
         ),
     )
     record_table("e1_batch_engine", table)
+
+    # Per-backend comparison: identity is asserted for every registered
+    # backend unconditionally; speedups vs the reference backend are
+    # reported only.
+    backend_times = {}
+    for name in available_backends():
+        t0 = time.perf_counter()
+        res = batched_local_mixing_times(g, BETA, backend=name)
+        backend_times[name] = time.perf_counter() - t0
+        assert res == loop, (
+            f"backend {name!r} diverged from the per-source loop"
+        )
+    t_ref = backend_times["reference"]
+    backend_rows = [
+        [name, f"{dt:.2f}", f"{t_ref / dt:.2f}x"]
+        for name, dt in backend_times.items()
+    ]
+    backend_table = format_table(
+        ["backend", "wall s", "vs reference"],
+        backend_rows,
+        title=(
+            f"E1b: compute backends on the all-sources workload (n={g.n}) "
+            f"— per-source results asserted identical to the loop for "
+            f"every backend"
+        ),
+    )
+    record_table("e1_backends", backend_table)

@@ -17,6 +17,11 @@ Claims (parallel subsystem):
    and skipped in quick mode: a single-core CI runner cannot express
    parallelism, but the identity claims still run there.
 
+4. the compute-backend knob survives the process boundary: for every
+   registered backend, the sharded solve with ``backend=<name>`` is
+   identical to the serial engine (asserted unconditionally; the
+   per-backend wall times are reported for comparison).
+
 Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the instance
 and asserts exactness plus clean teardown only.
 """
@@ -24,7 +29,7 @@ and asserts exactness plus clean teardown only.
 import os
 import time
 
-from repro.engine import batched_local_mixing_times
+from repro.engine import available_backends, batched_local_mixing_times
 from repro.graphs import random_regular
 from repro.parallel import ShardExecutor, parallel_local_mixing_times
 from repro.utils import format_table
@@ -60,12 +65,24 @@ def run_compare(n: int, d: int, seed: int = 1):
                 str(v) for v in sorted(timed, reverse=True) if v > 0
             )
             rows.append((w, dt, st["last_shard_sizes"], split))
-    return g, serial, results, t_serial, rows
+    # Per-backend pass at a fixed worker count: the backend name crosses
+    # the process boundary with each call's kwargs, so one warm pool
+    # serves every backend.
+    backend_rows = []
+    with ShardExecutor(2) as ex:
+        parallel_local_mixing_times(g, BETA, sources=[0], executor=ex)
+        for name in available_backends():
+            t0 = time.perf_counter()
+            res = parallel_local_mixing_times(
+                g, BETA, executor=ex, backend=name
+            )
+            backend_rows.append((name, time.perf_counter() - t0, res))
+    return g, serial, results, t_serial, rows, backend_rows
 
 
 def test_s1_sharded_engine(record_table, quick_mode):
     n, d = (120, 6) if quick_mode else (1200, 8)
-    g, serial, results, t_serial, rows = run_compare(n, d)
+    g, serial, results, t_serial, rows, backend_rows = run_compare(n, d)
 
     # Identity at every worker count (LocalMixingResult equality covers
     # time, set_size, bitwise deviation, threshold and both counters).
@@ -107,3 +124,20 @@ def test_s1_sharded_engine(record_table, quick_mode):
         ),
     )
     record_table("s1_sharded_engine", table)
+
+    # Per-backend identity through the worker pool, asserted
+    # unconditionally; wall times reported for comparison only.
+    for name, _, res in backend_rows:
+        assert res == serial, (
+            f"backend {name!r} diverged from the serial engine through "
+            f"the sharded executor"
+        )
+    backend_table = format_table(
+        ["backend", "wall s (W=2)"],
+        [[name, f"{dt:.2f}"] for name, dt, _ in backend_rows],
+        title=(
+            "S1b: compute backends through the sharded executor — "
+            "serial-identical results asserted for every backend"
+        ),
+    )
+    record_table("s1_backends", backend_table)

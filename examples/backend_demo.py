@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Pluggable compute backends, one answer: the kernel-seam demo.
+
+The engine's hot loops — block propagation, the sorted screening scan,
+and the fused deviation-lower-bound grid — dispatch through the narrow
+``KernelBackend`` interface in ``repro.engine.backends``.  This demo runs
+the same all-sources tau(beta, eps) workload on every backend registered
+in this process and checks, in the script itself, the seam's contract:
+
+- the ``reference`` backend is the numpy float64 path the engine always
+  had — it IS the per-source loop, restated in blocks;
+- the ``float32`` backend screens candidate (R, column) pairs in mixed
+  precision and re-verifies every near-threshold decision with the exact
+  float64 oracle, so its results are *bitwise identical* anyway;
+- the optional ``numba`` backend (``pip install .[fast]``) JIT-compiles
+  the same arithmetic and only appears in the table when importable —
+  absence degrades to the numpy paths, never to an error.
+
+Each backend's results are asserted equal — element for element, across
+time, witness-set size, bitwise deviation and both bookkeeping counters —
+to the seed per-source ``local_mixing_time`` loop.  The timing column is
+the demo's *observation*; the identity asserts are its *claim*.
+
+Run:  python examples/backend_demo.py
+"""
+
+import time
+
+from repro.engine import available_backends, batched_local_mixing_times
+from repro.graphs import random_regular
+from repro.utils import format_table
+from repro.walks import local_mixing_time
+
+BETA = 4
+N, D = 240, 8
+
+
+def main() -> None:
+    g = random_regular(N, D, seed=11)
+    print(f"graph: {g.name}   registered backends: {available_backends()}")
+
+    # The seed per-source loop is the ground truth every backend must hit.
+    t0 = time.perf_counter()
+    loop = [local_mixing_time(g, s, BETA) for s in range(g.n)]
+    t_loop = time.perf_counter() - t0
+    tau = max(r.time for r in loop)
+
+    rows = [["per-source loop", f"{t_loop:.3f}", "-", "(ground truth)"]]
+    backend_times = {}
+    for name in available_backends():
+        t0 = time.perf_counter()
+        res = batched_local_mixing_times(g, BETA, backend=name)
+        dt = time.perf_counter() - t0
+        assert res == loop, f"backend {name!r} broke loop equivalence"
+        backend_times[name] = dt
+        rows.append([name, f"{dt:.3f}", f"{t_loop / dt:.1f}x", "identical"])
+
+    t_ref = backend_times["reference"]
+    for row in rows[1:]:
+        row[3] = f"identical ({t_ref / backend_times[row[0]]:.2f}x vs ref)"
+
+    print(
+        format_table(
+            ["backend", "wall s", "vs loop", "results"],
+            rows,
+            title=(
+                f"All-sources tau(beta={BETA}) = {tau} on {g.name}: every "
+                f"registered backend, identical answers asserted"
+            ),
+        )
+    )
+
+    if "numba" not in backend_times:
+        print(
+            "\n(numba not importable in this environment — install the "
+            "`fast` extra to register the JIT backend; everything above "
+            "ran on the numpy paths.)"
+        )
+
+
+if __name__ == "__main__":
+    main()

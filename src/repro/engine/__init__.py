@@ -33,6 +33,13 @@ batching idea of Das Sarma et al. and Molla–Pandurangan:
   :func:`~repro.engine.batch.batched_local_mixing_profiles` (deviation
   profiles behind ``local_mixing_profile``) follow the same contract.
 
+Both hot loops — block propagation and the sorted deviation scan — are
+dispatched through a pluggable :mod:`repro.engine.backends` seam: pass
+``backend="float32"`` (or set the ``REPRO_BACKEND`` environment variable)
+to run the screening scan in mixed precision while every near-threshold
+decision is re-verified by the exact float64 oracle, keeping results
+bitwise identical to the reference path for every backend.
+
 The shared spectral cache is controllable — dynamic-network workloads
 (:mod:`repro.dynamic`) stream many snapshots through the engine, and each
 cached entry pins a dense ``n × n`` eigenbasis:
@@ -41,11 +48,20 @@ cached entry pins a dense ``n × n`` eigenbasis:
 :func:`~repro.engine.propagator.propagator_cache_info` bound and inspect it.
 """
 
+from repro.engine.backends import (
+    BACKEND_ENV,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 from repro.engine.propagator import (
     BlockPropagator,
     block_distribution_at,
     clear_propagator_cache,
     propagator_cache_info,
+    seed_shared_propagator,
     set_propagator_cache_maxsize,
     shared_spectral_propagator,
 )
@@ -63,9 +79,16 @@ from repro.engine.batch import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     "BlockPropagator",
     "block_distribution_at",
     "shared_spectral_propagator",
+    "seed_shared_propagator",
     "clear_propagator_cache",
     "set_propagator_cache_maxsize",
     "propagator_cache_info",

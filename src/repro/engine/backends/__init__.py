@@ -1,0 +1,60 @@
+"""Pluggable compute backends for the engine's hot loops.
+
+The batched drivers dispatch their two hot loops — block propagation and
+the column-sorted deviation scan — through a
+:class:`~repro.engine.backends.base.KernelBackend` resolved by
+:func:`~repro.engine.backends.registry.get_backend`.  Shipped backends:
+
+``reference``
+    The original float64 numpy path (the default and the equivalence
+    anchor every other backend is tested against).
+``float32``
+    Mixed precision: float32 screening scan over the float64 trajectory,
+    with an additive screening slack that makes under-flagging impossible
+    — results stay bitwise identical to the reference.
+``numba``
+    JIT-compiled search kernels; registered only when numba is importable
+    (install the package with the ``[fast]`` extra), absent otherwise.
+
+Select a backend per call (``backend="float32"``), per process
+(:func:`set_default_backend`), or per environment (``REPRO_BACKEND``).
+Whatever the choice, every result is bitwise identical to the reference
+loop — the backend knob partitions *work*, never results, which is why
+the serving layer excludes it from cache keys.
+"""
+
+from __future__ import annotations
+
+from repro.engine.backends.base import KernelBackend, ScanBlock
+from repro.engine.backends.float32 import Float32Backend
+from repro.engine.backends.reference import ReferenceBackend
+from repro.engine.backends.registry import (
+    BACKEND_ENV,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "Float32Backend",
+    "KernelBackend",
+    "NumbaBackend",
+    "ReferenceBackend",
+    "ScanBlock",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]
+
+register_backend(ReferenceBackend())
+register_backend(Float32Backend())
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from repro.engine.backends._numba import NumbaBackend
+except ImportError:  # clean degradation: the optional dependency is absent
+    NumbaBackend = None
+else:  # pragma: no cover
+    register_backend(NumbaBackend())

@@ -1,0 +1,163 @@
+"""The optional ``numba`` backend: JIT-compiled deviation-scan kernels.
+
+Importing this module requires numba (install the package with the
+``[fast]`` extra); :mod:`repro.engine.backends` catches the
+:class:`ImportError` and simply skips registration, so the backend
+degrades cleanly to absence — ``available_backends()`` does not list it
+and ``get_backend("numba")`` raises with an install hint.
+
+The jitted kernels replace the *search* stages — ``split_points`` (the
+per-column Python loop over ``searchsorted`` is the measured hot spot of
+the fused screen), the grid bracket search and the fused lower bounds —
+with tight scalar loops; the scan itself stays numpy (``np.sort`` /
+``np.cumsum`` are already native).  Every loop mirrors the numpy kernels'
+scalar arithmetic order exactly and compiles under numba's default
+IEEE-strict semantics (no fastmath), so values match the reference
+bitwise; even a stray ulp would be harmless because flagged pairs are
+re-decided by the exact float64 oracle under the engine's verification
+slack.  ``exact_scan`` stays ``True``: the scan arrays are the bitwise
+float64 scan."""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.engine.backends.base import ScanBlock
+from repro.engine.backends.reference import ReferenceBackend
+
+__all__ = ["NumbaBackend"]
+
+
+@njit(cache=True)
+def _nb_split_points(S, cs):
+    """Per-element binary search: ``out[i, j] = searchsorted(S[:, j], cs[i])``."""
+    n, k = S.shape
+    out = np.empty((cs.size, k), dtype=np.int64)
+    for j in range(k):
+        for i in range(cs.size):
+            c = cs[i]
+            lo = 0
+            hi = n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if S[mid, j] < c:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out[i, j] = lo
+    return out
+
+
+@njit(cache=True)
+def _nb_best_sums_grid(S, pre, Rs, cs, k0):
+    """Scalar transcript of the vectorized grid bracket search + window
+    evaluation (same predicate, same midpoints, same arithmetic order)."""
+    n, k = S.shape
+    m = Rs.size
+    sums = np.empty((m, k), dtype=S.dtype)
+    starts = np.empty((m, k), dtype=np.int64)
+    for i in range(m):
+        R = Rs[i]
+        c = cs[i]
+        two_c = 2.0 * c
+        for j in range(k):
+            kj = k0[i, j]
+            lo = 0
+            hi = n - R  # W - 1 sentinel
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if (mid >= kj) or (
+                    (mid + R >= kj) and (S[mid, j] + S[mid + R, j] >= two_c)
+                ):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            start = lo
+            kk = kj
+            if kk < start:
+                kk = start
+            elif kk > start + R:
+                kk = start + R
+            gather = pre[kk, j]
+            below = c * (kk - start) - (gather - pre[start, j])
+            above = (pre[start + R, j] - gather) - c * (R - (kk - start))
+            sums[i, j] = below + above
+            starts[i, j] = start
+    return sums, starts
+
+
+@njit(cache=True)
+def _nb_lower_bounds(pre, Rs, cs, k0):
+    """Scalar transcript of the fused lower-bound kernel (mass range,
+    rightmost-window below-part, leftmost-window above-part)."""
+    n = pre.shape[0] - 1
+    k = pre.shape[1]
+    m = Rs.size
+    out = np.empty((m, k), dtype=pre.dtype)
+    for i in range(m):
+        R = Rs[i]
+        c = cs[i]
+        target = c * R
+        for j in range(k):
+            top = pre[n, j] - pre[n - R, j]
+            bot = pre[R, j]
+            b = target - top
+            alt = bot - target
+            if alt > b:
+                b = alt
+            m2 = k0[i, j] - (n - R)
+            if m2 < 0:
+                m2 = 0
+            elif m2 > R:
+                m2 = R
+            b_below = c * m2 - (pre[(n - R) + m2, j] - pre[n - R, j])
+            if b_below > b:
+                b = b_below
+            a3 = k0[i, j]
+            if a3 > R:
+                a3 = R
+            b_above = (bot - pre[a3, j]) - c * (R - a3)
+            if b_above > b:
+                b = b_above
+            if b < 0.0:
+                b = 0.0
+            out[i, j] = b
+    return out
+
+
+class NumbaBackend(ReferenceBackend):
+    """Float64 scan with jitted search kernels (bitwise the reference —
+    see the module docstring)."""
+
+    name = "numba"
+
+    def split_points(self, scan: ScanBlock, cs: np.ndarray) -> np.ndarray:
+        """Jitted per-element binary search (replaces the per-column
+        Python ``searchsorted`` loop)."""
+        cs = np.ascontiguousarray(np.asarray(cs, dtype=scan.sorted.dtype))
+        return _nb_split_points(scan.sorted, cs)
+
+    def best_sums_grid(
+        self, scan: ScanBlock, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Jitted grid bracket search (same trajectory as the vectorized
+        search, element for element)."""
+        Rs = np.ascontiguousarray(np.asarray(Rs, dtype=np.int64))
+        cs = self.inverse_sizes(Rs)
+        if k0 is None:
+            k0 = self.split_points(scan, cs)
+        k0 = np.ascontiguousarray(np.asarray(k0, dtype=np.int64))
+        return _nb_best_sums_grid(scan.sorted, scan.prefix, Rs, cs, k0)
+
+    def deviation_lower_bounds(
+        self, scan: ScanBlock, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Jitted fused lower bounds (same three bounds, same arithmetic
+        order as the numpy kernel)."""
+        Rs = np.ascontiguousarray(np.asarray(Rs, dtype=np.int64))
+        cs = self.inverse_sizes(Rs)
+        if k0 is None:
+            k0 = self.split_points(scan, cs)
+        k0 = np.ascontiguousarray(np.asarray(k0, dtype=np.int64))
+        return _nb_lower_bounds(scan.prefix, Rs, cs, k0)

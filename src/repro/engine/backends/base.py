@@ -1,0 +1,149 @@
+"""The :class:`KernelBackend` interface — the engine's compute seam.
+
+The batched drivers touch exactly two hot loops: block propagation (one
+sparse mat-mat per walk step) and the column-sorted deviation scan (sort +
+prefix sums + the window kernels of :mod:`repro.engine.oracle`).  A
+backend packages both behind a narrow, swappable interface:
+
+``step_block``
+    One walk step for the whole block.  Every shipped backend keeps this
+    in float64: the exact trajectory is what near-threshold verification
+    anchors on, so trading its precision would change *verified* results
+    and break the loop-equivalence contract (see below).
+``sorted_scan`` / ``split_points`` / ``best_sums`` / ``best_sums_grid`` /
+``deviation_lower_bounds``
+    The screening scan.  This is where precision may be traded: the
+    drivers use these values only to decide *which* ``(t, R, column)``
+    pairs to hand to the exact float64 oracle, never to report a
+    deviation.
+
+Loop-equivalence contract
+-------------------------
+Every backend must produce results — τ, set size, deviation, counters —
+bitwise identical to the per-source reference loop.  The drivers enforce
+this structurally: a screening value below
+``threshold · (1 + slack) + screen_slack(n)`` is re-decided by the exact
+float64 arithmetic, so a backend only has to guarantee it never
+*under-flags* — its screening value for a pair must never exceed the
+exact minimum by more than :meth:`KernelBackend.screen_slack`.  For the
+float64 reference that margin is ``0``; the float32 backend derives its
+margin from a worst-case rounding analysis (see
+:class:`~repro.engine.backends.float32.Float32Backend`).
+
+``exact_scan`` tells the drivers whether :meth:`KernelBackend.sorted_scan`
+returned the bitwise float64 scan: when true they evaluate exact window
+minima straight off the scan arrays (cheap); when false they rebuild a
+per-column float64 oracle for flagged columns.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.engine.oracle import (
+    best_sums_grid_kernel,
+    best_sums_kernel,
+    deviation_lower_bounds_kernel,
+    sorted_scan_arrays,
+    split_points_kernel,
+)
+
+__all__ = ["KernelBackend", "ScanBlock"]
+
+
+class ScanBlock(NamedTuple):
+    """A backend's screening scan of one distribution block: the
+    column-wise ascending ``sorted`` copy ``(n, k)`` and its prefix sums
+    ``prefix`` ``(n+1, k)`` with a leading zero row, both in the backend's
+    scan dtype."""
+
+    sorted: np.ndarray
+    prefix: np.ndarray
+
+
+class KernelBackend:
+    """Base implementation of the backend interface: numpy kernels
+    parameterized by the scan dtype (see the module docstring for the
+    contract every backend must satisfy).
+
+    Subclasses customize by overriding :attr:`dtype` / :attr:`exact_scan`
+    / :meth:`screen_slack` (the mixed-precision path) or by replacing the
+    kernel methods outright (the numba path)."""
+
+    #: Registry name; subclasses must override.
+    name: str = "base"
+    #: Precision of the screening scan.
+    dtype = np.float64
+    #: True iff :meth:`sorted_scan` returns the bitwise float64 scan (the
+    #: drivers then evaluate exact minima straight off the scan arrays).
+    exact_scan: bool = True
+
+    def screen_slack(self, n: int) -> float:
+        """Additive screening margin for an ``n``-node graph: the most a
+        screening value may exceed the exact float64 minimum.  The drivers
+        widen the verification cutoff by this much, so a larger slack only
+        costs extra exact verifications — never a missed hit."""
+        return 0.0
+
+    def step_block(self, A, P: np.ndarray) -> np.ndarray:
+        """One walk step for the whole block: ``A @ P`` in float64 (kept
+        exact for every shipped backend — see the module docstring)."""
+        return A @ P
+
+    def inverse_sizes(self, Rs: np.ndarray) -> np.ndarray:
+        """The target values ``1/R`` for a grid of set sizes, computed in
+        the scan dtype (for float64 this is bitwise the reference
+        ``1.0 / Rs``)."""
+        Rs = np.asarray(Rs, dtype=np.int64)
+        dt = np.dtype(self.dtype).type
+        return dt(1.0) / Rs.astype(self.dtype)
+
+    def sorted_scan(self, P: np.ndarray) -> ScanBlock:
+        """Build the screening scan of a block in the backend's dtype."""
+        S, pre = sorted_scan_arrays(P, dtype=self.dtype)
+        return ScanBlock(S, pre)
+
+    def split_points(self, scan: ScanBlock, cs: np.ndarray) -> np.ndarray:
+        """Per target value and column, the count of sorted entries
+        strictly below the target (the ``k0`` splits the window kernels
+        pivot on)."""
+        return split_points_kernel(scan.sorted, cs)
+
+    def best_sums(
+        self, scan: ScanBlock, R: int, *, k0: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per column, the bracketed window minimum at set size ``R`` as
+        ``(sums, starts)`` — the ``prefilter="per_size"`` screen."""
+        n = scan.sorted.shape[0]
+        if not 1 <= R <= n:
+            raise ValueError(f"R={R} out of range [1, {n}]")
+        return best_sums_kernel(scan.sorted, scan.prefix, R, 1.0 / R, k0)
+
+    def best_sums_grid(
+        self, scan: ScanBlock, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`best_sums` fused over the whole ``(R, column)`` grid."""
+        Rs = np.asarray(Rs, dtype=np.int64)
+        cs = self.inverse_sizes(Rs)
+        if k0 is None:
+            k0 = self.split_points(scan, cs)
+        return best_sums_grid_kernel(scan.sorted, scan.prefix, Rs, cs, k0)
+
+    def deviation_lower_bounds(
+        self, scan: ScanBlock, Rs: np.ndarray, *, k0: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Search-free lower bounds over the ``(R, column)`` grid — the
+        default fused screen."""
+        Rs = np.asarray(Rs, dtype=np.int64)
+        cs = self.inverse_sizes(Rs)
+        if k0 is None:
+            k0 = self.split_points(scan, cs)
+        return deviation_lower_bounds_kernel(scan.prefix, Rs, cs, k0)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"dtype={np.dtype(self.dtype).name}, exact_scan={self.exact_scan})"
+        )

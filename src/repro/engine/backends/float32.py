@@ -1,0 +1,62 @@
+"""The ``float32`` mixed-precision backend.
+
+Precision is traded only where the loop-equivalence contract permits it:
+the **screening scan** (sort, prefix sums, window kernels) runs in
+float32 from a one-time per-step cast, while block propagation stays
+float64 — near-threshold verification re-decides every flagged pair
+against the exact float64 trajectory, so a float32 trajectory would
+change *verified* deviations and break bitwise equality, whereas a
+float32 screen can only change *which* pairs get verified.
+
+Soundness of the screening margin
+---------------------------------
+A screening value computed here may sit below **or above** the exact
+float64 minimum by accumulated float32 rounding:
+
+* casting ``p`` to float32 perturbs each entry by ≤ ``eps32 · p(u)``
+  (total L1 perturbation ≤ ``eps32``, and order statistics / window sums
+  are 1-Lipschitz in that perturbation);
+* each prefix-sum entry carries ≤ ``n · eps32`` of summation error
+  (masses are ≤ 1);
+* each window kernel combines ≤ 3 prefix entries, 2 products and the
+  target ``cR ≈ 1``, adding a small multiple of ``eps32``.
+
+A generous bound on the total is ``4 n · eps32``;
+:meth:`Float32Backend.screen_slack` returns ``16 n · eps32`` (4× margin,
+≈ ``7.6e-4`` at ``n = 400`` — negligible next to the default threshold
+``ε = 0.125``).  The drivers widen the verification cutoff by this slack,
+so under-flagging is impossible by construction and over-flagging merely
+costs a few extra exact verifications.
+
+``exact_scan=False``: the float32 scan cannot feed exact evaluation, so
+the drivers rebuild a per-column float64
+:class:`~repro.walks.local_mixing.UniformDeviationOracle` for flagged
+columns — bitwise the per-source loop's arithmetic.  The degree-
+proportional target has no lower-bound screen to begin with (its
+prefilter *is* the exact fixed-point transcript), so ``target="degree"``
+runs identically under every backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.backends.base import KernelBackend
+
+__all__ = ["Float32Backend"]
+
+_EPS32 = float(np.finfo(np.float32).eps)
+
+
+class Float32Backend(KernelBackend):
+    """Float32 screening scan over the float64 trajectory (see the module
+    docstring for the precision split and the slack derivation)."""
+
+    name = "float32"
+    dtype = np.float32
+    exact_scan = False
+
+    def screen_slack(self, n: int) -> float:
+        """``16 n · eps32`` — a 4× margin over the worst-case float32
+        rounding of a screening value (module docstring)."""
+        return 16.0 * n * _EPS32

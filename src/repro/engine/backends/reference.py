@@ -1,0 +1,25 @@
+"""The ``reference`` backend: the engine's original float64 numpy path.
+
+This is a pure extraction — :class:`ReferenceBackend` delegates to exactly
+the kernels :class:`~repro.engine.oracle.BatchedUniformDeviationOracle`
+uses (``np.sort`` + ``np.cumsum`` scan, vectorized bracket search, fused
+lower bounds), so a driver running on it performs bitwise the arithmetic
+the pre-seam engine performed.  Every other backend is tested for
+equality against results produced through this one (and, transitively,
+against the per-source reference loop)."""
+
+from __future__ import annotations
+
+from repro.engine.backends.base import KernelBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Float64 numpy kernels — the default and the equivalence anchor.
+
+    ``exact_scan=True``: the scan arrays *are* the exact oracle's, so the
+    drivers evaluate flagged pairs straight off them with the shared
+    window formula (no per-column re-sort)."""
+
+    name = "reference"

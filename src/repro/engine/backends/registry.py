@@ -1,0 +1,136 @@
+"""Backend registry: name → :class:`~repro.engine.backends.KernelBackend`.
+
+Resolution order for ``get_backend(None)`` (what every driver does when
+the caller passes ``backend=None``):
+
+1. the process default installed with :func:`set_default_backend`,
+2. the ``REPRO_BACKEND`` environment variable,
+3. ``"reference"``.
+
+Unknown names raise a :class:`ValueError` listing the registered names —
+*at the front door*, in the parent process: the batched drivers validate
+the backend in their shared ``_prepare_*_call`` heads before sources are
+normalized, and :class:`~repro.parallel.ShardExecutor` validates its
+``backend`` argument before any worker is spawned, so a typo never
+surfaces as a worker crash."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "BACKEND_ENV",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]
+
+#: Environment variable naming the default backend (checked when no
+#: process default was installed with :func:`set_default_backend`).
+BACKEND_ENV = "REPRO_BACKEND"
+
+_registry: dict = {}
+_default_name: str | None = None
+_lock = threading.RLock()
+
+
+def register_backend(backend, *, replace: bool = False):
+    """Register a backend instance under its ``name`` attribute and return
+    it.  Re-registering a taken name raises unless ``replace=True`` (so a
+    typo'd custom backend cannot silently shadow a shipped one)."""
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name or name != name.strip():
+        raise ValueError(
+            "backend must carry a non-empty string `name` attribute, got "
+            f"{name!r}"
+        )
+    for method in ("step_block", "sorted_scan", "deviation_lower_bounds"):
+        if not callable(getattr(backend, method, None)):
+            raise ValueError(
+                f"backend {name!r} does not implement the KernelBackend "
+                f"interface (missing {method})"
+            )
+    with _lock:
+        if not replace and name in _registry:
+            raise ValueError(
+                f"backend {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _registry[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted (``"numba"`` appears only when
+    the optional dependency imported cleanly)."""
+    with _lock:
+        return tuple(sorted(_registry))
+
+
+def _lookup(name: str):
+    with _lock:
+        backend = _registry.get(name)
+    if backend is None:
+        hint = ""
+        if name == "numba":
+            hint = (
+                " (the numba backend needs the optional dependency: "
+                "pip install the package with the [fast] extra)"
+            )
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}{hint}"
+        )
+    return backend
+
+
+def get_backend(backend=None):
+    """Resolve a backend argument to a :class:`KernelBackend` instance.
+
+    ``None`` follows the default chain (module docstring); a string is
+    looked up in the registry (unknown names raise :class:`ValueError`); a
+    backend instance passes through unchanged.  This is the validation
+    front door every driver, the executor, the tracker and the serving
+    layer's knob canonicalization share."""
+    if backend is None:
+        with _lock:
+            name = _default_name
+        if name is None:
+            name = os.environ.get(BACKEND_ENV, "").strip() or "reference"
+        return _lookup(name)
+    if isinstance(backend, str):
+        if not backend.strip():
+            raise ValueError("backend name must be a non-empty string")
+        return _lookup(backend)
+    if callable(getattr(backend, "step_block", None)) and callable(
+        getattr(backend, "sorted_scan", None)
+    ):
+        return backend
+    raise TypeError(
+        "backend must be None, a registered backend name, or a "
+        f"KernelBackend instance, got {type(backend).__name__}"
+    )
+
+
+def set_default_backend(name: str | None) -> str | None:
+    """Install the process-default backend by registered name (validated
+    eagerly; unknown names raise) and return it; ``None`` resets to the
+    environment/``"reference"`` chain.  This is what
+    :class:`~repro.parallel.ShardExecutor` forwards to workers on spawn so
+    shard solves default to the parent's backend."""
+    global _default_name
+    if name is None:
+        with _lock:
+            _default_name = None
+        return None
+    if not isinstance(name, str):
+        raise TypeError(
+            "set_default_backend takes a registered backend name or None, "
+            f"got {type(name).__name__}"
+        )
+    backend = _lookup(name)
+    with _lock:
+        _default_name = backend.name
+    return backend.name

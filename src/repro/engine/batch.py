@@ -43,6 +43,7 @@ import numpy as np
 from repro.constants import DEFAULT_EPS
 from repro.errors import ConvergenceError
 from repro.graphs.base import Graph
+from repro.engine.backends import get_backend
 from repro.engine.oracle import (
     BatchedDegreeDeviationOracle,
     BatchedUniformDeviationOracle,
@@ -110,15 +111,17 @@ def _prepare_times_call(
     method: str,
     batch_size: int | None,
     prefilter: str,
+    backend=None,
 ) -> tuple[list[int], list[int], int]:
     """Shared fail-fast validation head of the multi-source τ drivers
     (:func:`batched_local_mixing_times` and the sharded
     :func:`~repro.parallel.parallel_local_mixing_times`).
 
-    Every knob — scalars, ``t_schedule``, ``batch_size`` and the ``sizes``
-    grid — is validated *before* sources are normalized or any candidate
-    structure is built, so a bad call fails fast with the same message from
-    every driver.  Returns ``(sources, candidate_sizes, t_max)``.
+    Every knob — scalars, ``t_schedule``, ``batch_size``, ``backend`` and
+    the ``sizes`` grid — is validated *before* sources are normalized or
+    any candidate structure is built, so a bad call fails fast with the
+    same message from every driver.  Returns
+    ``(sources, candidate_sizes, t_max)``.
     """
     from repro.walks.local_mixing import _candidate_sizes, _resolve_walk_bounds
 
@@ -134,6 +137,7 @@ def _prepare_times_call(
         raise ValueError(f"unknown target {target!r}")
     if prefilter not in ("fused", "per_size"):
         raise ValueError(f"unknown prefilter {prefilter!r}")
+    get_backend(backend)  # unknown backend names fail before normalization
     _validate_schedule(t_schedule)
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -186,6 +190,7 @@ def canonical_times_key(
     method: str = "iterative",
     batch_size: int | None = None,
     prefilter: str = "fused",
+    backend: str | None = None,
 ) -> TimesKey:
     """Validate a full :func:`batched_local_mixing_times` knob set against
     ``g`` and collapse it to its canonical :class:`TimesKey`.
@@ -195,9 +200,12 @@ def canonical_times_key(
     message it would raise from the engine), then resolves every
     graph-dependent default: ``sizes``/``beta``/``grid_factor`` become the
     explicit candidate-size tuple, ``eps``/``threshold_factor`` the stopping
-    threshold, and ``t_max`` its resolved walk bound.  ``batch_size`` and
-    ``prefilter`` are validated but deliberately *absent* from the key —
-    they partition work, never change results.
+    threshold, and ``t_max`` its resolved walk bound.  ``batch_size``,
+    ``prefilter`` and ``backend`` are validated but deliberately *absent*
+    from the key — they partition work, never change results (for
+    ``backend`` that is the loop-equivalence contract of
+    :mod:`repro.engine.backends`), so they must never fragment cache
+    lines keyed by this identity.
     """
     # sources=[0]: the key is source-independent, and normalizing the
     # default all-sources list would cost O(n) per key computation (the
@@ -217,6 +225,7 @@ def canonical_times_key(
         method=method,
         batch_size=batch_size,
         prefilter=prefilter,
+        backend=backend,
     )
     return TimesKey(
         sizes=tuple(int(r) for r in candidates),
@@ -238,15 +247,18 @@ def _prepare_profiles_call(
     sizes,
     grid_factor: float,
     t_max: int,
+    backend=None,
 ) -> tuple[list[int], list[int]]:
     """Fail-fast validation head of the profile drivers (batched and
-    parallel): ``beta``, the ``sizes`` grid and ``t_max`` are checked
-    before sources are normalized.  Returns ``(sources, candidate_sizes)``.
+    parallel): ``beta``, the ``sizes`` grid, ``t_max`` and ``backend`` are
+    checked before sources are normalized.  Returns
+    ``(sources, candidate_sizes)``.
     """
     from repro.walks.local_mixing import _candidate_sizes
 
     if beta < 1:
         raise ValueError("beta must be >= 1 (sets of size at least n/beta)")
+    get_backend(backend)
     candidates = _candidate_sizes(g.n, beta, sizes, grid_factor)
     if t_max < 0:
         raise ValueError("t_max must be non-negative")
@@ -264,16 +276,19 @@ def _prepare_spectra_call(
     t_max: int | None,
     lazy: bool,
     method: str,
+    backend=None,
 ) -> tuple[list[int], list[int], int]:
     """Fail-fast validation head of the spectrum drivers (batched and
-    parallel): knobs — including the explicit ``sizes`` list — are checked
-    before sources are normalized.  Returns ``(sources, sizes, t_max)``."""
+    parallel): knobs — including the explicit ``sizes`` list and the
+    ``backend`` — are checked before sources are normalized.  Returns
+    ``(sources, sizes, t_max)``."""
     from repro.walks.local_mixing import _resolve_walk_bounds, size_grid
 
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0,1)")
     if method not in ("iterative", "spectral"):
         raise ValueError(f"unknown method {method!r}")
+    get_backend(backend)
     if sizes is None:
         sizes = size_grid(g.n, g.n, eps if grid_factor is None else grid_factor)
     else:
@@ -302,6 +317,7 @@ def batched_local_mixing_times(
     method: str = "iterative",
     batch_size: int | None = None,
     prefilter: str = "fused",
+    backend: str | None = None,
 ) -> list["LocalMixingResult"]:
     """``τ_s(β,ε)`` for every source in ``sources`` (default: all nodes).
 
@@ -334,6 +350,16 @@ def batched_local_mixing_times(
         (the pre-fusion engine, retained as a benchmark baseline).  Both
         produce identical results — every near-threshold hit is re-decided
         by the exact per-source arithmetic either way.
+    backend:
+        Which :mod:`~repro.engine.backends` kernel backend runs the hot
+        loops: a registered name (``"reference"``, ``"float32"``,
+        ``"numba"`` when installed), a
+        :class:`~repro.engine.backends.KernelBackend` instance, or
+        ``None`` for the process default
+        (:func:`~repro.engine.backends.set_default_backend` /
+        ``REPRO_BACKEND`` / ``"reference"``).  Result-neutral by the
+        loop-equivalence contract: every backend yields bitwise the
+        reference results.
 
     Returns the results in ``sources`` order; every result is identical —
     same time, set size, bitwise-equal deviation and same bookkeeping
@@ -357,8 +383,10 @@ def batched_local_mixing_times(
         method=method,
         batch_size=batch_size,
         prefilter=prefilter,
+        backend=backend,
     )
     threshold = eps * threshold_factor
+    be = get_backend(backend)
 
     results: list[LocalMixingResult | None] = [None] * len(src)
     if batch_size is None:
@@ -377,6 +405,7 @@ def batched_local_mixing_times(
             target=target,
             require_source=require_source,
             prefilter=prefilter,
+            backend=be,
         ):
             results[lo + pos] = res
     missing = [src[i] for i, r in enumerate(results) if r is None]
@@ -403,16 +432,26 @@ def _solve_chunk(
     target: str = "uniform",
     require_source: bool = False,
     prefilter: str = "fused",
+    backend=None,
 ):
     """Yield ``(position_in_chunk, LocalMixingResult)`` as sources resolve.
 
     Per scheduled step: one batched prefilter over the whole
     ``(R, live column)`` grid (a valid lower bound for every target /
     constraint combination — the fused D1-style
-    ``deviation_lower_bounds`` kernel by default), then exact per-source
-    verification of the flagged pairs in ascending-``R`` order, so the
-    first verified hit per column is exactly the per-source loop's stopping
-    point and every counter reconstructs the loop's bookkeeping.
+    ``deviation_lower_bounds`` kernel by default, dispatched through the
+    resolved kernel backend), then exact per-source verification of the
+    flagged pairs in ascending-``R`` order, so the first verified hit per
+    column is exactly the per-source loop's stopping point and every
+    counter reconstructs the loop's bookkeeping.
+
+    Backend seam: the screening scan runs in the backend's precision with
+    the verification cutoff widened by ``backend.screen_slack(n)``, so a
+    lower-precision screen can over-flag but never under-flag; flagged
+    pairs are decided on the exact float64 block either way (off the scan
+    arrays when ``backend.exact_scan``, else through a fresh per-column
+    float64 oracle).  The degree target's prefilter is already the exact
+    fixed-point transcript, so it is backend-independent.
     """
     from repro.walks.local_mixing import (
         LocalMixingResult,
@@ -421,15 +460,17 @@ def _solve_chunk(
         _t_iter,
     )
 
+    be = backend if backend is not None else get_backend(None)
     cutoff = threshold * (1.0 + _VERIFY_SLACK)
+    screen_cutoff = cutoff + be.screen_slack(g.n)
     n_cand = len(candidates)
     Rs = np.asarray(candidates, dtype=np.int64)
-    inv_r = 1.0 / Rs
+    inv_r = be.inverse_sizes(Rs)
     degrees = g.degrees.astype(np.float64) if target == "degree" else None
     col_pos = np.arange(len(chunk))  # chunk position per live column
     prop = None
     if method == "iterative":
-        prop = BlockPropagator(g, chunk, lazy=lazy)
+        prop = BlockPropagator(g, chunk, lazy=lazy, backend=be)
     for steps, t in enumerate(_t_iter(t_schedule, t_max), start=1):
         if col_pos.size == 0:
             return
@@ -440,7 +481,7 @@ def _solve_chunk(
                 g, [chunk[i] for i in col_pos], t, lazy=lazy
             )
         live_nodes = [chunk[int(i)] for i in col_pos]
-        oracle = None
+        scan = None
         if target == "degree":
             doracle = BatchedDegreeDeviationOracle(
                 P, degrees, sources=live_nodes
@@ -449,21 +490,22 @@ def _solve_chunk(
             # (bitwise), so they prefilter exactly; flagged pairs are still
             # re-decided by the scalar reference below.
             bounds = doracle.best_sums_grid(Rs, require_source=require_source)
+            hits = bounds < cutoff
         else:
-            oracle = BatchedUniformDeviationOracle(P)
-            k0_all = oracle.split_points(inv_r)
+            scan = be.sorted_scan(P)
+            k0_all = be.split_points(scan, inv_r)
             if prefilter == "fused":
                 # One search-free kernel call for the whole (R, column)
                 # grid; valid for the constrained minimum too (pinning the
                 # source can only increase it).
-                bounds = oracle.deviation_lower_bounds(Rs, k0=k0_all)
+                bounds = be.deviation_lower_bounds(scan, Rs, k0=k0_all)
             else:
                 bounds = np.empty((n_cand, P.shape[1]), dtype=np.float64)
                 for r_idx in range(n_cand):
-                    bounds[r_idx], _ = oracle.best_sums(
-                        int(Rs[r_idx]), k0=k0_all[r_idx]
+                    bounds[r_idx], _ = be.best_sums(
+                        scan, int(Rs[r_idx]), k0=k0_all[r_idx]
                     )
-        hits = bounds < cutoff
+            hits = bounds < screen_cutoff
         exact: dict[int, UniformDeviationOracle] = {}
         resolved: list[int] = []
         for col in map(int, np.flatnonzero(hits.any(axis=0))):
@@ -480,10 +522,19 @@ def _solve_chunk(
                         uo = UniformDeviationOracle(P[:, col], source=node)
                         exact[col] = uo
                     s_exact, _ = uo.best_sum(R, require_source=True)
-                else:
+                elif be.exact_scan:
                     s_exact = _exact_best_sum(
-                        oracle.sorted[:, col], oracle.prefix[:, col], R
+                        scan.sorted[:, col], scan.prefix[:, col], R
                     )
+                else:
+                    # Lower-precision scan: rebuild the exact per-column
+                    # float64 oracle (bitwise the per-source loop's
+                    # arithmetic) for the flagged column.
+                    uo = exact.get(col)
+                    if uo is None:
+                        uo = UniformDeviationOracle(P[:, col])
+                        exact[col] = uo
+                    s_exact, _ = uo.best_sum(R)
                 if s_exact < threshold:
                     yield int(col_pos[col]), LocalMixingResult(
                         time=t,
@@ -514,9 +565,16 @@ def batched_local_mixing_profiles(
     t_max: int = 100,
     lazy: bool = False,
     require_source: bool = False,
+    backend: str | None = None,
 ) -> np.ndarray:
     """The best achievable deviation ``min_R min_S Σ|p_t − 1/R|`` for every
     source at every ``t = 0..t_max``, as a ``(k, t_max + 1)`` array.
+
+    ``backend`` selects the :mod:`~repro.engine.backends` kernel backend
+    driving block propagation.  Profile *values* feed plots and fits, so
+    there is no verification threshold for a lower-precision screen to
+    hide behind: every backend shares the exact float64 scan here, and
+    the knob is result-neutral by construction.
 
     One block trajectory replaces ``k`` independent
     :func:`~repro.walks.local_mixing.local_mixing_profile` runs; each row is
@@ -532,7 +590,6 @@ def batched_local_mixing_profiles(
     oracle (window-through-the-source-slot vs punctured-window
     decomposition) evaluated on the shared block column.
     """
-    from repro.engine.oracle import BatchedUniformDeviationOracle
     from repro.walks.local_mixing import (
         UniformDeviationOracle,
         window_deviation_sums,
@@ -540,11 +597,12 @@ def batched_local_mixing_profiles(
 
     src, candidates = _prepare_profiles_call(
         g, beta, sources=sources, sizes=sizes, grid_factor=grid_factor,
-        t_max=t_max,
+        t_max=t_max, backend=backend,
     )
+    be = get_backend(backend)
     starts = {R: np.arange(g.n - R + 1) for R in candidates}
     out = np.empty((len(src), t_max + 1), dtype=np.float64)
-    prop = BlockPropagator(g, src, lazy=lazy)
+    prop = BlockPropagator(g, src, lazy=lazy, backend=be)
     for t in range(t_max + 1):
         P = prop.advance_to(t)
         if require_source:
@@ -708,6 +766,7 @@ def batched_local_mixing_spectra(
     lazy: bool = False,
     require_source: bool = False,
     method: str = "iterative",
+    backend: str | None = None,
 ) -> list[dict[int, int | float]]:
     """The multi-source local-mixing *spectrum*: for every source, for each
     candidate set size ``R``, the first ``t`` with
@@ -717,7 +776,11 @@ def batched_local_mixing_spectra(
     exactly for every knob, including ``require_source=True`` (screened by
     the unconstrained fused lower bounds — valid for the pinned minimum too
     — and decided by the exact constrained oracle on the column); sizes
-    that never mix within ``t_max`` map to ``math.inf``.
+    that never mix within ``t_max`` map to ``math.inf``.  ``backend``
+    selects the :mod:`~repro.engine.backends` kernel backend for the
+    screening scan (cutoff widened by its slack; every hit is still
+    decided by the exact per-column oracle, so results are
+    backend-independent).
     """
     from repro.walks.local_mixing import UniformDeviationOracle
 
@@ -730,16 +793,22 @@ def batched_local_mixing_spectra(
         t_max=t_max,
         lazy=lazy,
         method=method,
+        backend=backend,
     )
 
-    cutoff = eps * (1.0 + _VERIFY_SLACK)
+    be = get_backend(backend)
+    cutoff = eps * (1.0 + _VERIFY_SLACK) + be.screen_slack(g.n)
     Rs = np.asarray(sizes, dtype=np.int64)
-    inv_r = 1.0 / Rs
+    inv_r = be.inverse_sizes(Rs)
     out: list[dict[int, int | float]] = [{} for _ in src]
     col_pos = np.arange(len(src))
     # unresolved[c, r]: column c has not yet mixed at sizes[r].
     unresolved = np.ones((len(src), len(sizes)), dtype=bool)
-    prop = BlockPropagator(g, src, lazy=lazy) if method == "iterative" else None
+    prop = (
+        BlockPropagator(g, src, lazy=lazy, backend=be)
+        if method == "iterative"
+        else None
+    )
     for t in range(t_max + 1):
         if col_pos.size == 0:
             break
@@ -749,9 +818,9 @@ def batched_local_mixing_spectra(
             P = block_distribution_at(
                 g, [src[i] for i in col_pos], t, lazy=lazy
             )
-        oracle = BatchedUniformDeviationOracle(P)
-        k0_all = oracle.split_points(inv_r)
-        bounds = oracle.deviation_lower_bounds(Rs, k0=k0_all)
+        scan = be.sorted_scan(P)
+        k0_all = be.split_points(scan, inv_r)
+        bounds = be.deviation_lower_bounds(scan, Rs, k0=k0_all)
         exact: dict[int, UniformDeviationOracle] = {}
         live = unresolved[col_pos]
         hits = live.T & (bounds < cutoff)

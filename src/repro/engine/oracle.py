@@ -39,7 +39,177 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BatchedUniformDeviationOracle", "BatchedDegreeDeviationOracle"]
+__all__ = [
+    "BatchedUniformDeviationOracle",
+    "BatchedDegreeDeviationOracle",
+    "sorted_scan_arrays",
+    "split_points_kernel",
+    "best_sums_kernel",
+    "best_sums_grid_kernel",
+    "deviation_lower_bounds_kernel",
+]
+
+
+# --------------------------------------------------------------------- #
+# Dtype-generic kernels
+#
+# The oracle's hot arithmetic lives in these module-level functions so the
+# pluggable compute backends (:mod:`repro.engine.backends`) can run the
+# *screening* scan in a different precision while the oracle class keeps
+# the float64 semantics documented above.  Every kernel casts its integer
+# operands to the scan dtype explicitly; for float64 inputs that cast is
+# exact (values are bounded by ``n``), so the float64 path is bitwise
+# identical to the pre-extraction inline arithmetic — the grid-kernel
+# equivalence tests pin this down.
+# --------------------------------------------------------------------- #
+
+
+def sorted_scan_arrays(
+    P: np.ndarray, dtype=np.float64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Column-wise ascending sort of ``P`` plus prefix sums with a leading
+    zero row, as ``(sorted, prefix)`` of shapes ``(n, k)`` / ``(n+1, k)``.
+
+    With ``dtype=np.float64`` (the default) this is exactly the scan the
+    batched oracle builds; a lower-precision dtype casts the block once
+    before sorting (the mixed-precision backends' screening scan)."""
+    P = np.asarray(P, dtype=dtype)
+    if P.ndim != 2:
+        raise ValueError("P must be an (n, k) block, one column per source")
+    S = np.sort(P, axis=0)
+    prefix = np.vstack(
+        [np.zeros((1, P.shape[1]), dtype=dtype), np.cumsum(S, axis=0)]
+    )
+    return S, prefix
+
+
+def split_points_kernel(S: np.ndarray, cs: np.ndarray) -> np.ndarray:
+    """Per target value and column, the number of sorted entries strictly
+    below the target: entry ``[i, j]`` is
+    ``searchsorted(S[:, j], cs[i])`` — the split the window formula pivots
+    on.  ``cs`` is cast to the scan dtype so comparisons stay uniform."""
+    cs = np.asarray(cs, dtype=S.dtype)
+    out = np.empty((cs.size, S.shape[1]), dtype=np.int64)
+    for j in range(S.shape[1]):
+        out[:, j] = np.searchsorted(S[:, j], cs)
+    return out
+
+
+def best_sums_kernel(
+    S: np.ndarray,
+    pre: np.ndarray,
+    R: int,
+    c: float,
+    k0: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The bracketed window minimum for one set size ``R`` with target
+    value ``c`` over every column of the scan ``(S, pre)``; returns
+    ``(sums, starts)`` (see
+    :meth:`BatchedUniformDeviationOracle.best_sums`)."""
+    n, k = S.shape
+    dt = S.dtype.type
+    c = dt(c)
+    cols = np.arange(k)
+    if k0 is None:
+        k0 = (S < c).sum(axis=0)
+    # Vectorized binary search for the first start where the window-sum
+    # difference turns non-negative; W-1 is the "all differences
+    # negative" sentinel.
+    W = n - R + 1
+    lo = np.zeros(k, dtype=np.int64)
+    hi = np.full(k, W - 1, dtype=np.int64)
+    two_c = dt(2.0) * c
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = np.where(active, (lo + hi) >> 1, 0)
+        s_lo = S[mid, cols]
+        s_hi = S[mid + R, cols]
+        pred = (mid >= k0) | ((mid + R >= k0) & (s_lo + s_hi >= two_c))
+        hi = np.where(active & pred, mid, hi)
+        lo = np.where(active & ~pred, mid + 1, lo)
+    start = lo
+    # Evaluate the window sum at the bracketed start with the exact
+    # arithmetic of UniformDeviationOracle._window_sums.
+    kk = np.clip(k0, start, start + R)
+    gather = pre[kk, cols]
+    p_lo = pre[start, cols]
+    p_hi = pre[start + R, cols]
+    below = c * (kk - start).astype(dt) - (gather - p_lo)
+    above = (p_hi - gather) - c * (R - (kk - start)).astype(dt)
+    return below + above, start
+
+
+def best_sums_grid_kernel(
+    S: np.ndarray,
+    pre: np.ndarray,
+    Rs: np.ndarray,
+    cs: np.ndarray,
+    k0: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`best_sums_kernel` vectorized over the whole ``(R, column)``
+    grid — one search trajectory per grid element, identical per element to
+    the per-``R`` kernel (see
+    :meth:`BatchedUniformDeviationOracle.best_sums_grid`)."""
+    n, k = S.shape
+    dt = S.dtype.type
+    cols = np.arange(k)[None, :]
+    R_col = np.asarray(Rs, dtype=np.int64)[:, None]
+    c_col = np.asarray(cs, dtype=S.dtype)[:, None]
+    lo = np.zeros((R_col.size, k), dtype=np.int64)
+    hi = np.broadcast_to(n - R_col, lo.shape).copy()  # W - 1 per row
+    two_c = dt(2.0) * c_col
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = np.where(active, (lo + hi) >> 1, 0)
+        s_lo = S[mid, cols]
+        # Active positions satisfy mid + R <= n - 1; inactive ones are
+        # don't-cares whose gather index merely needs to stay in bounds.
+        s_hi = S[np.minimum(mid + R_col, n - 1), cols]
+        pred = (mid >= k0) | ((mid + R_col >= k0) & (s_lo + s_hi >= two_c))
+        hi = np.where(active & pred, mid, hi)
+        lo = np.where(active & ~pred, mid + 1, lo)
+    start = lo
+    kk = np.clip(k0, start, start + R_col)
+    gather = pre[kk, cols]
+    p_lo = pre[start, cols]
+    p_hi = pre[start + R_col, cols]
+    below = c_col * (kk - start).astype(dt) - (gather - p_lo)
+    above = (p_hi - gather) - c_col * (R_col - (kk - start)).astype(dt)
+    return below + above, start
+
+
+def deviation_lower_bounds_kernel(
+    pre: np.ndarray, Rs: np.ndarray, cs: np.ndarray, k0: np.ndarray
+) -> np.ndarray:
+    """Search-free per-``(R, column)`` lower bounds on the window minima,
+    straight from the prefix sums (see
+    :meth:`BatchedUniformDeviationOracle.deviation_lower_bounds` for the
+    three bounds being combined and why they are valid)."""
+    n = pre.shape[0] - 1
+    k = pre.shape[1]
+    dt = pre.dtype.type
+    cols = np.arange(k)[None, :]
+    R_col = np.asarray(Rs, dtype=np.int64)[:, None]
+    c_col = np.asarray(cs, dtype=pre.dtype)[:, None]
+    target = c_col * R_col.astype(dt)  # cR (≈ 1, kept in float for safety)
+    top = pre[n][None, :] - pre[n - R_col, cols]  # heaviest window mass
+    bot = pre[R_col, cols]  # lightest window mass
+    # (a) |mass − cR| over the feasible mass range.
+    b_mass = np.maximum(target - top, bot - target)
+    # (b) below-c part of the rightmost window.
+    m2 = np.clip(k0 - (n - R_col), 0, R_col)
+    b_below = c_col * m2.astype(dt) - (
+        pre[(n - R_col) + m2, cols] - pre[n - R_col, cols]
+    )
+    # (c) above-c part of the leftmost window.
+    a3 = np.minimum(k0, R_col)
+    b_above = (bot - pre[a3, cols]) - c_col * (R_col - a3).astype(dt)
+    out = np.maximum(b_mass, np.maximum(b_below, b_above))
+    return np.maximum(out, dt(0.0))
 
 
 class BatchedUniformDeviationOracle:
@@ -56,12 +226,9 @@ class BatchedUniformDeviationOracle:
         if P.ndim != 2:
             raise ValueError("P must be an (n, k) block, one column per source")
         self.n, self.k = P.shape
-        #: Column-wise ascending sort of the block, shape ``(n, k)``.
-        self.sorted = np.sort(P, axis=0)
-        #: Column-wise prefix sums with a leading zero row, shape ``(n+1, k)``.
-        self.prefix = np.vstack(
-            [np.zeros((1, self.k)), np.cumsum(self.sorted, axis=0)]
-        )
+        #: Column-wise ascending sort of the block, shape ``(n, k)``, and
+        #: column-wise prefix sums with a leading zero row, ``(n+1, k)``.
+        self.sorted, self.prefix = sorted_scan_arrays(P)
         self._cols = np.arange(self.k)
 
     def split_points(self, cs: np.ndarray) -> np.ndarray:
@@ -69,10 +236,7 @@ class BatchedUniformDeviationOracle:
         sorted values of column ``j`` strictly below ``cs[i]`` (the
         ``searchsorted`` split the window formula pivots on)."""
         cs = np.asarray(cs, dtype=np.float64)
-        out = np.empty((cs.size, self.k), dtype=np.int64)
-        for j in range(self.k):
-            out[:, j] = np.searchsorted(self.sorted[:, j], cs)
-        return out
+        return split_points_kernel(self.sorted, cs)
 
     def best_sums(
         self, R: int, *, k0: np.ndarray | None = None
@@ -81,39 +245,10 @@ class BatchedUniformDeviationOracle:
         ``Σ_{j∈[start, start+R)} |sorted_j − 1/R|`` over window starts and a
         start achieving it (the bracketed minimizer; see module docstring).
         """
-        n, k = self.n, self.k
+        n = self.n
         if not 1 <= R <= n:
             raise ValueError(f"R={R} out of range [1, {n}]")
-        c = 1.0 / R
-        S, pre, cols = self.sorted, self.prefix, self._cols
-        if k0 is None:
-            k0 = (S < c).sum(axis=0)
-        # Vectorized binary search for the first start where the window-sum
-        # difference turns non-negative; W-1 is the "all differences
-        # negative" sentinel.
-        W = n - R + 1
-        lo = np.zeros(k, dtype=np.int64)
-        hi = np.full(k, W - 1, dtype=np.int64)
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = np.where(active, (lo + hi) >> 1, 0)
-            s_lo = S[mid, cols]
-            s_hi = S[mid + R, cols]
-            pred = (mid >= k0) | ((mid + R >= k0) & (s_lo + s_hi >= 2.0 * c))
-            hi = np.where(active & pred, mid, hi)
-            lo = np.where(active & ~pred, mid + 1, lo)
-        start = lo
-        # Evaluate the window sum at the bracketed start with the exact
-        # arithmetic of UniformDeviationOracle._window_sums.
-        kk = np.clip(k0, start, start + R)
-        gather = pre[kk, cols]
-        p_lo = pre[start, cols]
-        p_hi = pre[start + R, cols]
-        below = c * (kk - start) - (gather - p_lo)
-        above = (p_hi - gather) - c * (R - (kk - start))
-        return below + above, start
+        return best_sums_kernel(self.sorted, self.prefix, R, 1.0 / R, k0)
 
     def best_sums_grid(
         self, Rs: np.ndarray, *, k0: np.ndarray | None = None
@@ -142,33 +277,7 @@ class BatchedUniformDeviationOracle:
         k0 = np.asarray(k0, dtype=np.int64)
         if k0.shape != (Rs.size, k):
             raise ValueError("k0 must have shape (len(Rs), k)")
-        S, pre, cols = self.sorted, self.prefix, self._cols[None, :]
-        R_col = Rs[:, None]
-        c_col = cs[:, None]
-        lo = np.zeros((Rs.size, k), dtype=np.int64)
-        hi = np.broadcast_to(n - R_col, lo.shape).copy()  # W - 1 per row
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = np.where(active, (lo + hi) >> 1, 0)
-            s_lo = S[mid, cols]
-            # Active positions satisfy mid + R <= n - 1; inactive ones are
-            # don't-cares whose gather index merely needs to stay in bounds.
-            s_hi = S[np.minimum(mid + R_col, n - 1), cols]
-            pred = (mid >= k0) | (
-                (mid + R_col >= k0) & (s_lo + s_hi >= 2.0 * c_col)
-            )
-            hi = np.where(active & pred, mid, hi)
-            lo = np.where(active & ~pred, mid + 1, lo)
-        start = lo
-        kk = np.clip(k0, start, start + R_col)
-        gather = pre[kk, cols]
-        p_lo = pre[start, cols]
-        p_hi = pre[start + R_col, cols]
-        below = c_col * (kk - start) - (gather - p_lo)
-        above = (p_hi - gather) - c_col * (R_col - (kk - start))
-        return below + above, start
+        return best_sums_grid_kernel(self.sorted, self.prefix, Rs, cs, k0)
 
     def deviation_lower_bounds(
         self, Rs: np.ndarray, *, k0: np.ndarray | None = None
@@ -203,22 +312,7 @@ class BatchedUniformDeviationOracle:
         k0 = np.asarray(k0, dtype=np.int64)
         if k0.shape != (Rs.size, k):
             raise ValueError("k0 must have shape (len(Rs), k)")
-        pre, cols = self.prefix, self._cols[None, :]
-        R_col = Rs[:, None]
-        c_col = cs[:, None]
-        target = c_col * R_col  # cR (≈ 1, kept in float for safety)
-        top = pre[n][None, :] - pre[n - R_col, cols]  # heaviest window mass
-        bot = pre[R_col, cols]  # lightest window mass
-        # (a) |mass − cR| over the feasible mass range.
-        b_mass = np.maximum(target - top, bot - target)
-        # (b) below-c part of the rightmost window.
-        m2 = np.clip(k0 - (n - R_col), 0, R_col)
-        b_below = c_col * m2 - (pre[(n - R_col) + m2, cols] - pre[n - R_col, cols])
-        # (c) above-c part of the leftmost window.
-        a3 = np.minimum(k0, R_col)
-        b_above = (bot - pre[a3, cols]) - c_col * (R_col - a3)
-        out = np.maximum(b_mass, np.maximum(b_below, b_above))
-        return np.maximum(out, 0.0)
+        return deviation_lower_bounds_kernel(self.prefix, Rs, cs, k0)
 
 
 class BatchedDegreeDeviationOracle:

@@ -35,6 +35,7 @@ __all__ = [
     "BlockPropagator",
     "block_distribution_at",
     "shared_spectral_propagator",
+    "seed_shared_propagator",
     "clear_propagator_cache",
     "set_propagator_cache_maxsize",
     "propagator_cache_info",
@@ -119,14 +120,47 @@ def set_propagator_cache_maxsize(maxsize: int) -> None:
     """Re-bound the shared propagator cache (evicting LRU entries to fit).
 
     ``maxsize=0`` disables caching entirely — every call pays the ``O(n³)``
-    eigendecomposition, but no dense basis is retained."""
+    eigendecomposition, but no dense basis is retained.  Anything but a
+    non-negative integer is rejected at this front door (a float or bool
+    would silently change the eviction arithmetic; a negative bound has no
+    meaning), which also protects the parallel layer: the executor
+    forwards this setting verbatim to every worker on spawn."""
     global _cache_maxsize
+    if isinstance(maxsize, bool) or not isinstance(
+        maxsize, (int, np.integer)
+    ):
+        raise ValueError(
+            f"maxsize must be a non-negative integer, got {maxsize!r}"
+        )
     if maxsize < 0:
-        raise ValueError("maxsize must be >= 0")
+        raise ValueError(f"maxsize must be >= 0, got {maxsize}")
     with _cache_lock:
         _cache_maxsize = int(maxsize)
         while len(_cache) > _cache_maxsize:
             _cache.popitem(last=False)
+
+
+def seed_shared_propagator(prop: SpectralPropagator) -> SpectralPropagator:
+    """Insert an externally constructed propagator into the shared cache
+    under its ``(graph, lazy)`` key and return the cached instance.
+
+    First-publish-wins: if the key is already cached (another thread, or a
+    previous seed), the existing instance is returned and ``prop`` is
+    dropped, so every caller shares one eigenbasis.  This is how parallel
+    workers adopt a :class:`~repro.parallel.SharedEigenbasis` — the parent
+    decomposes once, workers seed their process-local cache with zero-copy
+    views instead of re-deriving ``O(n³)`` per process.  The seed counts
+    as neither hit nor miss (it answers no lookup)."""
+    key = (prop.graph, prop.lazy)
+    with _cache_lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            _cache.move_to_end(key)
+            return existing
+        _cache[key] = prop
+        while len(_cache) > _cache_maxsize:
+            _cache.popitem(last=False)
+    return prop
 
 
 def propagator_cache_info() -> PropagatorCacheInfo:
@@ -168,9 +202,22 @@ class BlockPropagator:
         Source node per column.
     lazy:
         Use the lazy operator ``(I + A)/2``.
+    backend:
+        Optional :class:`~repro.engine.backends.KernelBackend` whose
+        ``step_block`` advances the block (the compute seam); ``None``
+        keeps the plain float64 ``A @ P``.  Every shipped backend's
+        ``step_block`` is the same float64 mat-mat, so the trajectory is
+        bitwise identical either way.
     """
 
-    def __init__(self, g: Graph, sources: Sequence[int], *, lazy: bool = False):
+    def __init__(
+        self,
+        g: Graph,
+        sources: Sequence[int],
+        *,
+        lazy: bool = False,
+        backend=None,
+    ):
         src = np.asarray(list(sources), dtype=np.int64)
         if src.ndim != 1 or src.size == 0:
             raise ValueError("need at least one source")
@@ -180,6 +227,7 @@ class BlockPropagator:
         self.lazy = lazy
         self.sources = src
         self._A = walk_operator(g, lazy=lazy)
+        self._backend = backend
         self._P = _one_hot_block(g.n, src)
         self.t = 0
 
@@ -195,7 +243,10 @@ class BlockPropagator:
 
     def step(self) -> np.ndarray:
         """Advance one walk step (one sparse mat-mat) and return the block."""
-        self._P = self._A @ self._P
+        if self._backend is not None:
+            self._P = self._backend.step_block(self._A, self._P)
+        else:
+            self._P = self._A @ self._P
         self.t += 1
         return self._P
 

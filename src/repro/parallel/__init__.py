@@ -10,6 +10,11 @@ cores without giving up a single bit of exactness:
   are placed in :mod:`multiprocessing.shared_memory` once and mapped
   zero-copy by every worker (no per-task pickling of the topology, no
   re-validation).
+* :class:`~repro.parallel.shared_eigenbasis.SharedEigenbasis` — the
+  companion segment for spectral solves: the parent's ``O(n³)``
+  eigendecomposition is published once and every worker rebuilds the
+  propagator on zero-copy views (memory order preserved, so BLAS products
+  stay bitwise the parent's); no worker re-runs ``eigh``.
 * :class:`~repro.parallel.executor.ShardExecutor` — a persistent process
   pool with per-worker warm state (engine spectral-cache settings
   forwarded on spawn, attached graphs and their caches kept hot across
@@ -18,7 +23,8 @@ cores without giving up a single bit of exactness:
   :func:`~repro.parallel.api.parallel_local_mixing_spectra`,
   :func:`~repro.parallel.api.parallel_local_mixing_profiles` — drop-in
   counterparts of the batched drivers carrying the full knob space
-  (``target``, ``require_source``, ``method``, ``prefilter``), whose
+  (``target``, ``require_source``, ``method``, ``prefilter``,
+  ``backend`` — compute-backend names validated in the parent), whose
   outputs are **identical** to the serial engine (and therefore to the
   per-source reference loop) for every knob combination and any worker
   count.  Peak dense-block memory per process is ``n × ⌈k/W⌉``.
@@ -39,6 +45,10 @@ few hundred sources.
 """
 
 from repro.parallel.shared_csr import SharedCSR, SharedCSRHandle
+from repro.parallel.shared_eigenbasis import (
+    SharedEigenbasis,
+    SharedEigenbasisHandle,
+)
 from repro.parallel.executor import (
     ShardExecutor,
     default_start_method,
@@ -54,6 +64,8 @@ from repro.parallel.api import (
 __all__ = [
     "SharedCSR",
     "SharedCSRHandle",
+    "SharedEigenbasis",
+    "SharedEigenbasisHandle",
     "ShardExecutor",
     "default_start_method",
     "shard_bounds",

@@ -56,6 +56,26 @@ def _resolve_executor(
     return ShardExecutor(n_workers, start_method=start_method), True
 
 
+def _resolve_backend_name(backend) -> str | None:
+    """Validate a backend selector in the parent and normalize it to a
+    registered *name* (or ``None`` for the worker-side default).
+
+    The parallel layer ships the backend across process boundaries, so
+    only names are accepted — a :class:`~repro.engine.KernelBackend`
+    *instance* is process-local state and is rejected here rather than
+    failing to unpickle (or silently re-resolving) inside a worker."""
+    if backend is None:
+        return None
+    if not isinstance(backend, str):
+        raise TypeError(
+            "parallel front doors accept backend names only (instances "
+            f"cannot cross process boundaries), got {backend!r}"
+        )
+    from repro.engine import get_backend
+
+    return get_backend(backend).name
+
+
 def parallel_local_mixing_times(
     g: Graph,
     beta: float,
@@ -73,6 +93,7 @@ def parallel_local_mixing_times(
     method: str = "iterative",
     batch_size: int | None = None,
     prefilter: str = "fused",
+    backend: str | None = None,
     n_workers: int | None = None,
     executor: ShardExecutor | None = None,
     start_method: str | None = None,
@@ -92,7 +113,13 @@ def parallel_local_mixing_times(
     ``executor`` to amortize worker spawn and graph publication across
     calls; otherwise a pool is created and torn down inside this call.
     ``n_workers`` doubles as the shard count when an executor is supplied.
+
+    ``backend`` selects the compute backend *by name* (validated here in
+    the parent, forwarded to every shard; instances are rejected — see
+    :mod:`repro.engine.backends`); results are bitwise identical for every
+    registered backend.
     """
+    backend = _resolve_backend_name(backend)
     src, _, _ = _prepare_times_call(
         g,
         beta,
@@ -108,6 +135,7 @@ def parallel_local_mixing_times(
         method=method,
         batch_size=batch_size,
         prefilter=prefilter,
+        backend=backend,
     )
     kwargs = dict(
         beta=beta,
@@ -123,6 +151,7 @@ def parallel_local_mixing_times(
         method=method,
         batch_size=batch_size,
         prefilter=prefilter,
+        backend=backend,
     )
     ex, owned = _resolve_executor(executor, n_workers, start_method)
     try:
@@ -143,6 +172,7 @@ def parallel_local_mixing_spectra(
     lazy: bool = False,
     require_source: bool = False,
     method: str = "iterative",
+    backend: str | None = None,
     n_workers: int | None = None,
     executor: ShardExecutor | None = None,
     start_method: str | None = None,
@@ -150,8 +180,9 @@ def parallel_local_mixing_spectra(
     """Sharded counterpart of
     :func:`~repro.engine.batch.batched_local_mixing_spectra`: the full
     per-source spectrum ``R → first t``, in ``sources`` order, identical to
-    the serial call for every knob (``require_source`` and both methods
-    included)."""
+    the serial call for every knob (``require_source``, both methods and
+    every ``backend`` name included; backend instances are rejected)."""
+    backend = _resolve_backend_name(backend)
     src, _, _ = _prepare_spectra_call(
         g,
         eps,
@@ -161,6 +192,7 @@ def parallel_local_mixing_spectra(
         t_max=t_max,
         lazy=lazy,
         method=method,
+        backend=backend,
     )
     kwargs = dict(
         eps=eps,
@@ -170,6 +202,7 @@ def parallel_local_mixing_spectra(
         lazy=lazy,
         require_source=require_source,
         method=method,
+        backend=backend,
     )
     ex, owned = _resolve_executor(executor, n_workers, start_method)
     try:
@@ -189,6 +222,7 @@ def parallel_local_mixing_profiles(
     t_max: int = 100,
     lazy: bool = False,
     require_source: bool = False,
+    backend: str | None = None,
     n_workers: int | None = None,
     executor: ShardExecutor | None = None,
     start_method: str | None = None,
@@ -197,10 +231,12 @@ def parallel_local_mixing_profiles(
     :func:`~repro.engine.batch.batched_local_mixing_profiles`: the
     ``(k, t_max + 1)`` deviation-profile block, rows in ``sources`` order
     and bitwise equal to the serial call (each worker propagates only its
-    own row block, so peak memory drops by the worker count)."""
+    own row block, so peak memory drops by the worker count).  ``backend``
+    is a name validated in the parent, forwarded to every shard."""
+    backend = _resolve_backend_name(backend)
     src, _ = _prepare_profiles_call(
         g, beta, sources=sources, sizes=sizes, grid_factor=grid_factor,
-        t_max=t_max,
+        t_max=t_max, backend=backend,
     )
     kwargs = dict(
         beta=beta,
@@ -209,6 +245,7 @@ def parallel_local_mixing_profiles(
         t_max=t_max,
         lazy=lazy,
         require_source=require_source,
+        backend=backend,
     )
     ex, owned = _resolve_executor(executor, n_workers, start_method)
     try:

@@ -45,6 +45,10 @@ import numpy as np
 
 from repro.graphs.base import Graph
 from repro.parallel.shared_csr import SharedCSR, SharedCSRHandle
+from repro.parallel.shared_eigenbasis import (
+    SharedEigenbasis,
+    SharedEigenbasisHandle,
+)
 
 __all__ = ["ShardExecutor", "shard_bounds", "default_start_method"]
 
@@ -101,13 +105,27 @@ def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
 _WORKER_GRAPH_CACHE_SIZE = 8
 _worker_graphs: "OrderedDict[str, SharedCSR]" = OrderedDict()
 
+#: Per-worker LRU of attached eigenbasis segments (same bound and rotation
+#: discipline as the graph cache; entries are only mappings — the dense
+#: arrays live once in shared memory).
+_worker_eigenbases: "OrderedDict[str, SharedEigenbasis]" = OrderedDict()
 
-def _init_worker(cache_maxsize: int | None) -> None:
-    """Pool initializer: apply forwarded engine settings once per worker."""
+
+def _init_worker(
+    cache_maxsize: int | None, default_backend: str | None = None
+) -> None:
+    """Pool initializer: apply forwarded engine settings once per worker.
+
+    Both settings were validated parent-side, so a bad value fails fast in
+    the submitting process instead of crashing the pool on spawn."""
     if cache_maxsize is not None:
         from repro.engine import set_propagator_cache_maxsize
 
         set_propagator_cache_maxsize(cache_maxsize)
+    if default_backend is not None:
+        from repro.engine import set_default_backend
+
+        set_default_backend(default_backend)
 
 
 def _resolve_graph(handle: SharedCSRHandle) -> Graph:
@@ -128,8 +146,34 @@ def _resolve_graph(handle: SharedCSRHandle) -> Graph:
     return shared.graph
 
 
+def _seed_eigenbasis(
+    eigen_handle: SharedEigenbasisHandle, g: Graph
+) -> None:
+    """Attach (or reuse) the shared eigenbasis and seed the worker's
+    spectral-propagator cache with a zero-copy rebuild, so the engine's
+    ``shared_spectral_propagator(g, lazy)`` lookup hits instead of paying
+    ``O(n³)`` per worker.  Seeding is first-publish-wins and idempotent."""
+    from repro.engine import seed_shared_propagator
+
+    shared = _worker_eigenbases.get(eigen_handle.shm_name)
+    if shared is None:
+        # Same tracker rule as the graph cache: pool workers inherit the
+        # publisher's resource tracker, so never untrack here.
+        shared = SharedEigenbasis.attach(eigen_handle)
+        _worker_eigenbases[eigen_handle.shm_name] = shared
+        while len(_worker_eigenbases) > _WORKER_GRAPH_CACHE_SIZE:
+            _worker_eigenbases.popitem(last=False)[1].close()
+    else:
+        _worker_eigenbases.move_to_end(eigen_handle.shm_name)
+    seed_shared_propagator(shared.propagator(g))
+
+
 def _solve_shard(
-    handle: SharedCSRHandle, kind: str, shard: list[int], kwargs: dict
+    handle: SharedCSRHandle,
+    eigen_handle: SharedEigenbasisHandle | None,
+    kind: str,
+    shard: list[int],
+    kwargs: dict,
 ):
     """Worker kernel: one batched-engine call on this worker's source shard,
     returned as ``(worker_pid, results)`` so the parent can attribute the
@@ -137,7 +181,10 @@ def _solve_shard(
 
     The batched drivers are reused as-is — the shard's block is exactly the
     single-process engine's chunk for these sources, so per-source outputs
-    are bitwise those of the serial call (loop equivalence)."""
+    are bitwise those of the serial call (loop equivalence).  For spectral
+    solves the parent forwards its eigendecomposition as a
+    :class:`SharedEigenbasis` handle; seeding it here means no worker
+    re-derives the eigenbasis."""
     from repro.engine import (
         batched_local_mixing_profiles,
         batched_local_mixing_spectra,
@@ -145,6 +192,8 @@ def _solve_shard(
     )
 
     g = _resolve_graph(handle)
+    if eigen_handle is not None:
+        _seed_eigenbasis(eigen_handle, g)
     if kind == "times":
         out = batched_local_mixing_times(g, sources=shard, **kwargs)
     elif kind == "spectra":
@@ -187,6 +236,14 @@ class ShardExecutor:
         :func:`~repro.engine.set_propagator_cache_maxsize` on spawn, so the
         per-worker spectral cache obeys the same memory bound the parent
         configured (workers otherwise start with the library default).
+        Validated here — a bad value raises before the pool spawns.
+    backend:
+        Default compute-backend *name* forwarded to every worker's
+        :func:`~repro.engine.set_default_backend` on spawn (the same
+        forwarding discipline as ``cache_maxsize``).  Resolved and
+        validated in the parent — an unknown name fails fast here, never
+        inside a worker.  Per-call ``backend=`` arguments on the parallel
+        front doors override this default shard-locally.
     max_published:
         How many distinct graph segments to keep published at once; least
         recently used segments beyond the bound are unlinked (safe between
@@ -205,6 +262,7 @@ class ShardExecutor:
         *,
         start_method: str | None = None,
         cache_maxsize: int | None = None,
+        backend: str | None = None,
         max_published: int = 16,
     ):
         if n_workers is None:
@@ -213,6 +271,31 @@ class ShardExecutor:
             raise ValueError("n_workers must be >= 1")
         if max_published < 1:
             raise ValueError("max_published must be >= 1")
+        # Validate forwarded worker settings at this front door: the pool
+        # initializer replays them in every worker, where a bad value would
+        # surface as an opaque BrokenProcessPool instead of a clear error.
+        if cache_maxsize is not None:
+            if isinstance(cache_maxsize, bool) or not isinstance(
+                cache_maxsize, (int, np.integer)
+            ):
+                raise ValueError(
+                    "cache_maxsize must be a non-negative integer, "
+                    f"got {cache_maxsize!r}"
+                )
+            if cache_maxsize < 0:
+                raise ValueError(
+                    f"cache_maxsize must be >= 0, got {cache_maxsize}"
+                )
+        self._backend_name: str | None = None
+        if backend is not None:
+            from repro.engine import get_backend
+
+            if not isinstance(backend, str):
+                raise TypeError(
+                    "backend must be a registered backend name (workers "
+                    f"resolve it by name on spawn), got {backend!r}"
+                )
+            self._backend_name = get_backend(backend).name
         self.n_workers = int(n_workers)
         self.start_method = start_method or default_start_method()
         ctx = mp.get_context(self.start_method)
@@ -220,9 +303,12 @@ class ShardExecutor:
             max_workers=self.n_workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(cache_maxsize,),
+            initargs=(cache_maxsize, self._backend_name),
         )
         self._published: "OrderedDict[Graph, SharedCSR]" = OrderedDict()
+        self._published_eigen: (
+            "OrderedDict[tuple[Graph, bool], SharedEigenbasis]"
+        ) = OrderedDict()
         self._max_published = int(max_published)
         self._closed = False
         # The async serving layer calls one executor from several engine
@@ -259,14 +345,59 @@ class ShardExecutor:
                 self._published.move_to_end(g)
             return shared.handle
 
+    def publish_eigenbasis(
+        self, g: Graph, *, lazy: bool = False
+    ) -> SharedEigenbasisHandle:
+        """Place the eigendecomposition of ``(g, lazy)`` in shared memory
+        (idempotent per operator, LRU-bounded like :meth:`publish`).
+
+        The decomposition comes from the parent's own
+        :func:`~repro.engine.shared_spectral_propagator` cache — computed
+        at most once in this process, then mapped zero-copy by every
+        worker.  Spectral sharded solves call this automatically."""
+        from repro.engine import shared_spectral_propagator
+
+        self._check_open()
+        key = (g, bool(lazy))
+        with self._lock:
+            shared = self._published_eigen.get(key)
+            if shared is not None:
+                self._published_eigen.move_to_end(key)
+                return shared.handle
+        # The O(n³) decomposition runs outside the lock (same discipline
+        # as the engine's propagator cache): a long eigh must not block
+        # publication of unrelated graphs from other threads.
+        prop = shared_spectral_propagator(g, lazy)
+        with self._lock:
+            raced = self._published_eigen.get(key)
+            if raced is not None:
+                self._published_eigen.move_to_end(key)
+                return raced.handle
+            shared = SharedEigenbasis.publish(prop)
+            self._published_eigen[key] = shared
+            while len(self._published_eigen) > self._max_published:
+                _, old = self._published_eigen.popitem(last=False)
+                old.unlink()
+                old.close()
+            return shared.handle
+
     def release(self, g: Graph) -> None:
-        """Unlink ``g``'s segment now instead of waiting for :meth:`close`
-        (workers' existing mappings stay valid until they rotate out)."""
+        """Unlink ``g``'s segments (CSR and any eigenbases) now instead of
+        waiting for :meth:`close` (workers' existing mappings stay valid
+        until they rotate out)."""
         with self._lock:
             shared = self._published.pop(g, None)
+            eigen = [
+                self._published_eigen.pop(key)
+                for key in list(self._published_eigen)
+                if key[0] == g
+            ]
         if shared is not None:
             shared.unlink()
             shared.close()
+        for e in eigen:
+            e.unlink()
+            e.close()
 
     # -------------------------------------------------------------- #
     # Execution
@@ -293,10 +424,20 @@ class ShardExecutor:
         self._check_open()
         n_shards = self._resolve_shards(n_shards)
         handle = self.publish(g)
+        eigen_handle = None
+        if kwargs.get("method") == "spectral":
+            # Spectral solves need the eigenbasis in every worker; publish
+            # the parent's decomposition once so workers map it instead of
+            # re-running eigh per process.
+            eigen_handle = self.publish_eigenbasis(
+                g, lazy=bool(kwargs.get("lazy", False))
+            )
         src = [int(s) for s in sources]
         bounds = shard_bounds(len(src), n_shards)
         futures = [
-            self._pool.submit(_solve_shard, handle, kind, src[lo:hi], kwargs)
+            self._pool.submit(
+                _solve_shard, handle, eigen_handle, kind, src[lo:hi], kwargs
+            )
             for lo, hi in bounds
         ]
         parts = [f.result() for f in futures]
@@ -354,8 +495,9 @@ class ShardExecutor:
         pool), ``items_processed`` (sources/items across all tasks),
         ``per_worker_solves`` (``{worker_pid: completed shard tasks}`` —
         how evenly the pool was used), ``last_shard_sizes`` (the shard
-        partition of the most recent call), plus ``n_workers`` and
-        ``published_graphs``.  The serving layer and ``bench_s1`` report
+        partition of the most recent call), plus ``n_workers``,
+        ``published_graphs`` and ``published_eigenbases``.  The serving
+        layer and ``bench_s1`` report
         these; they never affect results.
         """
         with self._lock:
@@ -364,6 +506,7 @@ class ShardExecutor:
             out["last_shard_sizes"] = list(self._stats["last_shard_sizes"])
             out["n_workers"] = self.n_workers
             out["published_graphs"] = len(self._published)
+            out["published_eigenbases"] = len(self._published_eigen)
             return out
 
     def _resolve_shards(self, n_shards: int | None) -> int:
@@ -397,6 +540,10 @@ class ShardExecutor:
                 shared.unlink()
                 shared.close()
             self._published.clear()
+            for eigen in self._published_eigen.values():
+                eigen.unlink()
+                eigen.close()
+            self._published_eigen.clear()
 
     def __enter__(self) -> "ShardExecutor":
         return self

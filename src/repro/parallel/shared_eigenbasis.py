@@ -1,0 +1,257 @@
+"""Zero-copy eigenbasis sharing across worker processes.
+
+A :class:`SharedEigenbasis` places a
+:class:`~repro.walks.distribution.SpectralPropagator`'s three arrays —
+``sqrt_deg`` (``n``), ``eigvals`` (``n``) and ``eigvecs`` (``n × n``), all
+float64 — in **one** :class:`multiprocessing.shared_memory.SharedMemory`
+segment, written once by the publishing process.  Workers receive only a
+tiny picklable :class:`SharedEigenbasisHandle` and rebuild the propagator
+with :meth:`~repro.walks.distribution.SpectralPropagator.from_arrays`
+*directly on views of the shared buffer*, so no worker ever pays the
+``O(n³)`` eigendecomposition the parent already paid.  This is the
+companion of :class:`~repro.parallel.shared_csr.SharedCSR` for spectral
+solves: the CSR segment ships topology, this one ships the decomposition.
+
+Bitwise contract
+----------------
+Spectral evaluations are BLAS products over the eigenbasis, and BLAS
+results can differ bitwise between C- and F-contiguous operands
+(``numpy.linalg.eigh`` returns an F-contiguous eigenvector matrix).  The
+handle therefore records the publisher's ``eigvecs`` memory order and
+:meth:`SharedEigenbasis.propagator` rebuilds the array **in that order**,
+so every worker's propagator performs exactly the parent's arithmetic —
+the parallel spectral path stays element-for-element identical to the
+serial one regardless of which process evaluates a column.
+
+Lifecycle contract
+------------------
+Same as :class:`~repro.parallel.shared_csr.SharedCSR`: the **publisher**
+owns the segment and must eventually :meth:`unlink` it (or let
+:class:`~repro.parallel.executor.ShardExecutor` manage it); **attachers**
+only :meth:`close` their mapping.  Pool workers never untrack — they
+inherit the publisher's resource tracker, so the publisher's unlink is the
+single deregistration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.walks.distribution import SpectralPropagator
+
+__all__ = ["SharedEigenbasis", "SharedEigenbasisHandle"]
+
+_DTYPE = np.dtype(np.float64)
+
+
+@dataclass(frozen=True)
+class SharedEigenbasisHandle:
+    """Picklable pointer to a published eigendecomposition.
+
+    Attributes
+    ----------
+    shm_name:
+        OS name of the shared-memory segment.
+    n:
+        Number of nodes (``sqrt_deg`` and ``eigvals`` have ``n`` entries,
+        ``eigvecs`` has ``n × n``).
+    lazy:
+        Whether the decomposed operator is the lazy walk ``(I + N)/2`` —
+        part of the propagator-cache key workers seed.
+    graph_name:
+        The graph's human-readable name (worker reprs match the parent's).
+    vec_order:
+        Memory order of the publisher's eigenvector matrix (``"C"`` or
+        ``"F"``); workers rebuild in the same order so BLAS products are
+        bitwise the parent's.
+    """
+
+    shm_name: str
+    n: int
+    lazy: bool
+    graph_name: str
+    vec_order: str
+
+
+class SharedEigenbasis:
+    """One spectral propagator's arrays in a shared-memory segment.
+
+    Construct via :meth:`publish` (in the owning process) or
+    :meth:`attach` (in a worker); the raw constructor is internal.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n: int,
+        lazy: bool,
+        graph_name: str,
+        vec_order: str,
+        *,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.n = int(n)
+        self.lazy = bool(lazy)
+        self.graph_name = graph_name
+        self.vec_order = vec_order
+        self.owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def publish(cls, prop: SpectralPropagator) -> "SharedEigenbasis":
+        """Copy ``prop``'s decomposition into a fresh shared segment (done
+        once; every worker maps the same physical pages afterwards).
+
+        ``eigvecs`` is written element-for-element in its own memory order
+        (``eigh`` returns F-contiguous), recorded on the handle so attachers
+        reconstruct an identically laid out operand."""
+        n = prop.graph.n
+        vecs = prop._eigvecs
+        vec_order = "C" if vecs.flags.c_contiguous else "F"
+        nbytes = max((2 * n + n * n) * _DTYPE.itemsize, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        buf = np.ndarray(2 * n, dtype=_DTYPE, buffer=shm.buf)
+        buf[:n] = prop._sqrt_deg
+        buf[n:] = prop._eigvals
+        vec_view = np.ndarray(
+            (n, n),
+            dtype=_DTYPE,
+            buffer=shm.buf,
+            offset=2 * n * _DTYPE.itemsize,
+            order=vec_order,
+        )
+        vec_view[:, :] = vecs
+        del buf, vec_view
+        return cls(
+            shm, n, prop.lazy, prop.graph.name, vec_order, owner=True
+        )
+
+    @classmethod
+    def attach(
+        cls, handle: SharedEigenbasisHandle, *, untrack: bool = False
+    ) -> "SharedEigenbasis":
+        """Map an already-published segment (worker side, zero-copy).
+
+        ``untrack`` follows the same rule as
+        :meth:`~repro.parallel.shared_csr.SharedCSR.attach`: pool workers
+        must leave it ``False`` (they share the publisher's resource
+        tracker); only a process unrelated to the publisher passes
+        ``True``."""
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        if untrack:
+            try:  # pragma: no cover - tracker internals vary across versions
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(
+            shm,
+            handle.n,
+            handle.lazy,
+            handle.graph_name,
+            handle.vec_order,
+            owner=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def handle(self) -> SharedEigenbasisHandle:
+        """The picklable descriptor workers attach by."""
+        return SharedEigenbasisHandle(
+            self._shm.name, self.n, self.lazy, self.graph_name, self.vec_order
+        )
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sqrt_deg, eigvals, eigvecs)`` as views of the shared buffer
+        (``eigvecs`` in the publisher's recorded memory order)."""
+        n = self.n
+        sqrt_deg = np.ndarray(n, dtype=_DTYPE, buffer=self._shm.buf)
+        eigvals = np.ndarray(
+            n, dtype=_DTYPE, buffer=self._shm.buf, offset=n * _DTYPE.itemsize
+        )
+        eigvecs = np.ndarray(
+            (n, n),
+            dtype=_DTYPE,
+            buffer=self._shm.buf,
+            offset=2 * n * _DTYPE.itemsize,
+            order=self.vec_order,
+        )
+        return sqrt_deg, eigvals, eigvecs
+
+    def propagator(self, g: Graph) -> SpectralPropagator:
+        """Rebuild the publisher's propagator for ``g`` on zero-copy views
+        (no ``eigh``; bitwise the parent's evaluations — see the module
+        docstring).  ``g`` must be the published graph (workers resolve it
+        from the companion :class:`~repro.parallel.shared_csr.SharedCSR`
+        segment; :class:`Graph` equality is structural, so the worker-side
+        view graph keys the same caches)."""
+        if g.n != self.n:
+            raise ValueError(
+                f"graph has n={g.n} but the published eigenbasis has "
+                f"n={self.n}"
+            )
+        sqrt_deg, eigvals, eigvecs = self.arrays()
+        return SpectralPropagator.from_arrays(
+            g, lazy=self.lazy, sqrt_deg=sqrt_deg, eigvals=eigvals,
+            eigvecs=eigvecs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Unmap this process's view of the segment (keeps the segment
+        itself alive for other processes)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported numpy views
+            # A live numpy view still points into the mapping; the OS
+            # reclaims it with the process instead.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS namespace (publisher only;
+        idempotent).  Existing mappings stay valid until closed."""
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def __enter__(self) -> "SharedEigenbasis":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.unlink()
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedEigenbasis({self.graph_name!r}, n={self.n}, "
+            f"lazy={self.lazy}, order={self.vec_order!r}, "
+            f"shm={self._shm.name!r}, {role})"
+        )

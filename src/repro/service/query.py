@@ -15,8 +15,12 @@ shared canonicalization head
 (:func:`~repro.engine.batch.canonical_times_key`), so ``beta=4`` with
 ``sizes="all"`` and the explicitly enumerated equivalent size list land on
 the same cache line and in the same coalesced batch, while execution-only
-knobs (``batch_size``, ``prefilter`` — proven result-neutral by the
-loop-equivalence contract) are kept out of the cache key entirely.
+knobs (``batch_size``, ``prefilter``, ``backend`` — proven result-neutral
+by the loop-equivalence contract) are kept out of the cache key entirely.
+A float32-backend query therefore *hits* the cache line a reference-backend
+query filled (and vice versa) — the backend must never fragment the cache —
+while still splitting coalescer groups, since one engine call runs under
+exactly one backend.
 """
 
 from __future__ import annotations
@@ -42,6 +46,10 @@ class ExecutionKey(NamedTuple):
     times: TimesKey
     batch_size: int | None
     prefilter: str
+    #: Resolved backend *name* (``get_backend(...).name``): spelling
+    #: ``backend=None`` and ``backend="reference"`` coalesce into the same
+    #: group, while distinct backends solve in distinct engine calls.
+    backend: str
 
 
 #: Field names forwarded verbatim to the batched engine driver.
@@ -59,6 +67,7 @@ _ENGINE_KNOBS = (
     "method",
     "batch_size",
     "prefilter",
+    "backend",
 )
 
 
@@ -90,6 +99,10 @@ class MixingQuery:
     method: str = "iterative"
     batch_size: int | None = None
     prefilter: str = "fused"
+    #: Compute-backend name (see :mod:`repro.engine.backends`); result-
+    #: neutral by the loop-equivalence contract, so it never enters the
+    #: result-cache key — only the coalescing group.
+    backend: str | None = None
 
     def engine_kwargs(self) -> dict:
         """The knob dictionary a batched/parallel driver call takes
@@ -109,9 +122,14 @@ class MixingQuery:
         return canonical_times_key(g, **self.engine_kwargs())
 
     def execution_key(self, g: Graph) -> ExecutionKey:
-        """The coalescing group key: semantics plus partitioning knobs."""
+        """The coalescing group key: semantics plus partitioning knobs
+        (the backend resolved to its registered name, so ``None`` and the
+        default backend's explicit name group together)."""
+        from repro.engine import get_backend
+
         return ExecutionKey(
             times=self.semantic_key(g),
             batch_size=self.batch_size,
             prefilter=self.prefilter,
+            backend=get_backend(self.backend).name,
         )

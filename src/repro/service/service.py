@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import threading
 
+from repro.engine.backends import get_backend
 from repro.engine.batch import batched_local_mixing_times
 from repro.graphs.base import Graph
 from repro.service.cache import ResultCache
@@ -141,6 +142,11 @@ class MixingService:
             times=tkey,
             batch_size=query.batch_size,
             prefilter=query.prefilter,
+            # Resolved to its registered name so backend=None and the
+            # default backend's explicit name coalesce into one group;
+            # the semantic cache key above excludes the backend entirely
+            # (results are backend-independent by contract).
+            backend=get_backend(query.backend).name,
         )
         fut = self._coalescer.enqueue(
             g, exec_key, source, query.engine_kwargs()

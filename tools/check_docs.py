@@ -37,6 +37,7 @@ MARKDOWN_GLOBS = ["*.md", "docs/*.md"]
 #: Packages whose public APIs must be fully documented.
 DOCSTRING_PACKAGES = [
     "repro.engine",
+    "repro.engine.backends",
     "repro.dynamic",
     "repro.parallel",
     "repro.service",
