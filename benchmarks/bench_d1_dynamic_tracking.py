@@ -17,34 +17,39 @@ Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke) shrinks the instance and
 relaxes the timing assertion, since shared runners time unreliably.
 """
 
-import time
-
 from repro.dynamic import DynamicGraph, barbell_bridge_schedule, track_local_mixing
 from repro.engine import batched_local_mixing_times
+from repro.obs import BenchReporter
 from repro.utils import format_table
 
 BETA = 4
 T_MAX = 5000
 
 
-def run_compare(clique_size: int, cycles: int, hold: int, seed: int = 1):
+def run_compare(
+    clique_size: int, cycles: int, hold: int, seed: int = 1, reporter=None
+):
+    rep = reporter if reporter is not None else BenchReporter("d1")
     base, schedule = barbell_bridge_schedule(
         BETA, clique_size, cycles=cycles, hold=hold, seed=seed
     )
-    t0 = time.perf_counter()
-    trace = track_local_mixing(base, schedule, beta=BETA, t_max=T_MAX)
-    t_track = time.perf_counter() - t0
+    with rep.section("tracker"):
+        trace = track_local_mixing(base, schedule, beta=BETA, t_max=T_MAX)
 
-    t0 = time.perf_counter()
-    dyn = DynamicGraph(base)
-    scratch = [batched_local_mixing_times(dyn.snapshot(), BETA, t_max=T_MAX)]
-    for upd in schedule:
-        dyn.apply(upd)
-        scratch.append(
+    with rep.section("scratch"):
+        dyn = DynamicGraph(base)
+        scratch = [
             batched_local_mixing_times(dyn.snapshot(), BETA, t_max=T_MAX)
-        )
-    t_scratch = time.perf_counter() - t0
-    return base, schedule, trace, scratch, t_track, t_scratch
+        ]
+        for upd in schedule:
+            dyn.apply(upd)
+            scratch.append(
+                batched_local_mixing_times(dyn.snapshot(), BETA, t_max=T_MAX)
+            )
+    return (
+        base, schedule, trace, scratch,
+        rep.seconds("tracker"), rep.seconds("scratch"),
+    )
 
 
 def test_d1_dynamic_tracking(record_table, quick_mode):
@@ -53,8 +58,9 @@ def test_d1_dynamic_tracking(record_table, quick_mode):
     # irregularity, see examples/dynamic_mixing.py) and the from-scratch
     # baseline alone would take minutes.
     clique, cycles, hold = (25, 8, 0) if quick_mode else (100, 25, 6)
+    rep = BenchReporter("d1_dynamic_tracking")
     base, schedule, trace, scratch, t_track, t_scratch = run_compare(
-        clique, cycles, hold
+        clique, cycles, hold, reporter=rep
     )
 
     # Identity on every snapshot of the trace (the acceptance criterion:
@@ -91,4 +97,4 @@ def test_d1_dynamic_tracking(record_table, quick_mode):
             "(identical per-source results asserted on every snapshot)"
         ),
     )
-    record_table("d1_dynamic_tracking", table)
+    record_table("d1_dynamic_tracking", table, metrics=rep.snapshot())

@@ -24,33 +24,34 @@ only asserts exactness plus nominal speedups, since shared runners time
 unreliably.
 """
 
-import time
-
 from repro.engine import available_backends, batched_local_mixing_times
 from repro.graphs import random_regular
+from repro.obs import BenchReporter
 from repro.utils import format_table
 from repro.walks import local_mixing_time
 
 BETA = 4
 
 
-def run_compare(n: int, d: int, seed: int = 1):
+def run_compare(n: int, d: int, seed: int = 1, reporter=None):
+    rep = reporter if reporter is not None else BenchReporter("e1")
     g = random_regular(n, d, seed=seed)
-    t0 = time.perf_counter()
-    batch = batched_local_mixing_times(g, BETA)
-    t_batch = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    baseline = batched_local_mixing_times(g, BETA, prefilter="per_size")
-    t_baseline = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    loop = [local_mixing_time(g, s, BETA) for s in range(g.n)]
-    t_loop = time.perf_counter() - t0
-    return g, batch, baseline, loop, t_batch, t_baseline, t_loop
+    with rep.section("batch"):
+        batch = batched_local_mixing_times(g, BETA)
+    with rep.section("per_size"):
+        baseline = batched_local_mixing_times(g, BETA, prefilter="per_size")
+    with rep.section("loop"):
+        loop = [local_mixing_time(g, s, BETA) for s in range(g.n)]
+    return g, batch, baseline, loop, rep
 
 
 def test_e1_batch_engine(record_table, quick_mode):
     n, d = (120, 6) if quick_mode else (400, 8)
-    g, batch, baseline, loop, t_batch, t_baseline, t_loop = run_compare(n, d)
+    rep = BenchReporter("e1_batch_engine")
+    g, batch, baseline, loop, _ = run_compare(n, d, reporter=rep)
+    t_batch = rep.seconds("batch")
+    t_baseline = rep.seconds("per_size")
+    t_loop = rep.seconds("loop")
 
     # Identical per-source outputs (LocalMixingResult equality covers time,
     # set_size, bitwise deviation, threshold and both counters) — for the
@@ -81,16 +82,16 @@ def test_e1_batch_engine(record_table, quick_mode):
             "per-source results asserted for all three)"
         ),
     )
-    record_table("e1_batch_engine", table)
+    record_table("e1_batch_engine", table, metrics=rep.snapshot())
 
     # Per-backend comparison: identity is asserted for every registered
     # backend unconditionally; speedups vs the reference backend are
     # reported only.
     backend_times = {}
     for name in available_backends():
-        t0 = time.perf_counter()
-        res = batched_local_mixing_times(g, BETA, backend=name)
-        backend_times[name] = time.perf_counter() - t0
+        with rep.section(f"backend:{name}"):
+            res = batched_local_mixing_times(g, BETA, backend=name)
+        backend_times[name] = rep.seconds(f"backend:{name}")
         assert res == loop, (
             f"backend {name!r} diverged from the per-source loop"
         )
@@ -108,4 +109,4 @@ def test_e1_batch_engine(record_table, quick_mode):
             f"every backend"
         ),
     )
-    record_table("e1_backends", backend_table)
+    record_table("e1_backends", backend_table, metrics=rep.snapshot())

@@ -27,10 +27,10 @@ and asserts exactness plus clean teardown only.
 """
 
 import os
-import time
 
 from repro.engine import available_backends, batched_local_mixing_times
 from repro.graphs import random_regular
+from repro.obs import BenchReporter
 from repro.parallel import ShardExecutor, parallel_local_mixing_times
 from repro.utils import format_table
 
@@ -38,33 +38,37 @@ BETA = 4
 WORKER_COUNTS = (1, 2, 4)
 
 
-def run_compare(n: int, d: int, seed: int = 1):
+def run_compare(n: int, d: int, seed: int = 1, reporter=None):
+    rep = reporter if reporter is not None else BenchReporter("s1")
     g = random_regular(n, d, seed=seed)
-    t0 = time.perf_counter()
-    serial = batched_local_mixing_times(g, BETA)
-    t_serial = time.perf_counter() - t0
+    with rep.section("serial"):
+        serial = batched_local_mixing_times(g, BETA)
     rows = []
     results = {}
     for w in WORKER_COUNTS:
         with ShardExecutor(w) as ex:
-            # Warm the pool (worker spawn is setup, not solve time).
+            # Warm the pool (worker spawn is setup, not solve time), then
+            # zero the utilization counters so stats() attributes the
+            # timed call only.
             parallel_local_mixing_times(g, BETA, sources=[0], executor=ex)
-            warm = ex.stats()["per_worker_solves"]
-            t0 = time.perf_counter()
-            results[w] = parallel_local_mixing_times(g, BETA, executor=ex)
-            dt = time.perf_counter() - t0
+            ex.reset()
+            with rep.section(f"W={w}"):
+                results[w] = parallel_local_mixing_times(
+                    g, BETA, executor=ex
+                )
             # Utilization counters (satellite of the serving subsystem):
-            # shard partition + per-worker attribution of the timed call
-            # only (the warm-up's task is diffed out).
+            # shard partition + per-worker attribution of the timed call.
             st = ex.stats()
-            timed = [
-                n_solves - warm.get(pid, 0)
-                for pid, n_solves in st["per_worker_solves"].items()
-            ]
             split = "/".join(
-                str(v) for v in sorted(timed, reverse=True) if v > 0
+                str(v)
+                for v in sorted(
+                    st["per_worker_solves"].values(), reverse=True
+                )
+                if v > 0
             )
-            rows.append((w, dt, st["last_shard_sizes"], split))
+            rows.append(
+                (w, rep.seconds(f"W={w}"), st["last_shard_sizes"], split)
+            )
     # Per-backend pass at a fixed worker count: the backend name crosses
     # the process boundary with each call's kwargs, so one warm pool
     # serves every backend.
@@ -72,17 +76,22 @@ def run_compare(n: int, d: int, seed: int = 1):
     with ShardExecutor(2) as ex:
         parallel_local_mixing_times(g, BETA, sources=[0], executor=ex)
         for name in available_backends():
-            t0 = time.perf_counter()
-            res = parallel_local_mixing_times(
-                g, BETA, executor=ex, backend=name
+            with rep.section(f"backend:{name}"):
+                res = parallel_local_mixing_times(
+                    g, BETA, executor=ex, backend=name
+                )
+            backend_rows.append(
+                (name, rep.seconds(f"backend:{name}"), res)
             )
-            backend_rows.append((name, time.perf_counter() - t0, res))
-    return g, serial, results, t_serial, rows, backend_rows
+    return g, serial, results, rep.seconds("serial"), rows, backend_rows
 
 
 def test_s1_sharded_engine(record_table, quick_mode):
     n, d = (120, 6) if quick_mode else (1200, 8)
-    g, serial, results, t_serial, rows, backend_rows = run_compare(n, d)
+    rep = BenchReporter("s1_sharded_engine")
+    g, serial, results, t_serial, rows, backend_rows = run_compare(
+        n, d, reporter=rep
+    )
 
     # Identity at every worker count (LocalMixingResult equality covers
     # time, set_size, bitwise deviation, threshold and both counters).
@@ -123,7 +132,7 @@ def test_s1_sharded_engine(record_table, quick_mode):
             f"host cores: {cores})"
         ),
     )
-    record_table("s1_sharded_engine", table)
+    record_table("s1_sharded_engine", table, metrics=rep.snapshot())
 
     # Per-backend identity through the worker pool, asserted
     # unconditionally; wall times reported for comparison only.
@@ -140,4 +149,4 @@ def test_s1_sharded_engine(record_table, quick_mode):
             "serial-identical results asserted for every backend"
         ),
     )
-    record_table("s1_backends", backend_table)
+    record_table("s1_backends", backend_table, metrics=rep.snapshot())

@@ -28,10 +28,10 @@ publication are setup cost, not serving cost.
 
 import asyncio
 import os
-import time
 
 from repro.engine import batched_local_mixing_times
 from repro.graphs import random_regular
+from repro.obs import BenchReporter
 from repro.service import MixingQuery, MixingService
 from repro.utils import format_table
 
@@ -39,11 +39,13 @@ BETA = 4.0
 CLIENT_COUNTS = (1, 8, 64)
 
 
-def serve(g, sources, *, max_batch, window, n_workers=None):
+def serve(g, sources, *, max_batch, window, n_workers=None,
+          reporter, label):
     """Answer one query per source on a fresh service; returns
-    (results, wall seconds, service stats).  With ``n_workers`` the
-    service shards coalesced batches on its own persistent pool (warmed —
-    along with the thread pool — by an untimed round first)."""
+    (results, wall seconds, service stats), timing the serving round as
+    ``reporter`` section ``label``.  With ``n_workers`` the service
+    shards coalesced batches on its own persistent pool (warmed — along
+    with the thread pool — by an untimed round first)."""
 
     async def main():
         async with MixingService(
@@ -56,16 +58,15 @@ def serve(g, sources, *, max_batch, window, n_workers=None):
                 [MixingQuery(g, s, beta=BETA) for s in sources[:2]]
             )
             warm_batches = svc.stats()["coalescer"]["batches"]
-            t0 = time.perf_counter()
-            res = await svc.submit_many(
-                [MixingQuery(g, s, beta=BETA) for s in sources]
-            )
-            dt = time.perf_counter() - t0
+            with reporter.section(label):
+                res = await svc.submit_many(
+                    [MixingQuery(g, s, beta=BETA) for s in sources]
+                )
             stats = svc.stats()
             stats["timed_batches"] = (
                 stats["coalescer"]["batches"] - warm_batches
             )
-            return res, dt, stats
+            return res, reporter.seconds(label), stats
 
     return asyncio.run(main())
 
@@ -73,7 +74,9 @@ def serve(g, sources, *, max_batch, window, n_workers=None):
 def test_v1_serving(record_table, quick_mode):
     n, d = (120, 6) if quick_mode else (400, 8)
     g = random_regular(n, d, seed=1)
-    direct = batched_local_mixing_times(g, BETA)
+    rep = BenchReporter("v1_serving")
+    with rep.section("direct"):
+        direct = batched_local_mixing_times(g, BETA)
 
     if hasattr(os, "sched_getaffinity"):
         cores = len(os.sched_getaffinity(0))
@@ -88,9 +91,13 @@ def test_v1_serving(record_table, quick_mode):
     speedups = {}
     for c in CLIENT_COUNTS:
         sources = [s % g.n for s in range(c)]
-        per_query, t_pq, _ = serve(g, sources, max_batch=1, window=0.0)
+        per_query, t_pq, _ = serve(
+            g, sources, max_batch=1, window=0.0,
+            reporter=rep, label=f"per_query:C={c}",
+        )
         coalesced, t_co, stats = serve(
-            g, sources, max_batch=c, window=0.005, n_workers=workers
+            g, sources, max_batch=c, window=0.005, n_workers=workers,
+            reporter=rep, label=f"coalesced:C={c}",
         )
         # Identity is unconditional: any batch composition must reproduce
         # the direct engine call bitwise, source by source.
@@ -136,4 +143,4 @@ def test_v1_serving(record_table, quick_mode):
             f"the direct engine asserted at every C; host cores: {cores})"
         ),
     )
-    record_table("v1_serving", table)
+    record_table("v1_serving", table, metrics=rep.snapshot())

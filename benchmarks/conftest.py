@@ -5,10 +5,18 @@ same rows EXPERIMENTS.md records*.  Because pytest captures stdout, tables
 are registered through the ``record_table`` fixture and echoed in the
 terminal summary (so they appear in ``bench_output.txt``); they are also
 written to ``benchmarks/results/<name>.txt`` for later inspection.
+
+A benchmark that measures through a :class:`repro.obs.BenchReporter`
+passes ``record_table(name, text, metrics=reporter.snapshot())`` and the
+harness dumps the snapshot as ``benchmarks/results/<name>.metrics.json``
+next to the table — so every artifact ships with the section timings and
+metric counters (kernel profile, cache/coalescer/executor state) that
+produced it.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -28,12 +36,19 @@ def quick_mode() -> bool:
 
 @pytest.fixture
 def record_table():
-    """Call ``record_table(name, text)`` to register an experiment table."""
+    """Call ``record_table(name, text)`` to register an experiment table;
+    pass ``metrics=<JSON-ready dict>`` (typically a
+    ``BenchReporter.snapshot()``) to also write
+    ``results/<name>.metrics.json`` beside the table."""
 
-    def _record(name: str, text: str) -> None:
+    def _record(name: str, text: str, metrics: dict | None = None) -> None:
         _TABLES.append((name, text))
         _RESULTS_DIR.mkdir(exist_ok=True)
         (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if metrics is not None:
+            (_RESULTS_DIR / f"{name}.metrics.json").write_text(
+                json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+            )
 
     return _record
 

@@ -76,6 +76,7 @@ from repro.constants import DEFAULT_EPS
 from repro.graphs.base import Graph
 from repro.graphs.properties import multi_source_distances
 from repro.engine.batch import batched_local_mixing_times
+from repro.obs import CounterDict, MetricsRegistry
 from repro.dynamic.graph import DynamicGraph, GraphUpdate
 
 __all__ = [
@@ -295,14 +296,24 @@ class MixingTracker:
         self._prev_graph: Graph | None = None
         self._prev_results: tuple | None = None
         self._index = 0
-        self.stats: dict[str, int] = {
-            "snapshots": 0,
-            "memo_hits": 0,
-            "reused_sources": 0,
-            "solved_sources": 0,
-            "full_solves": 0,
-            "partial_solves": 0,
-        }
+        #: Work counters, dict-shaped for backwards compatibility but
+        #: stored on :attr:`metrics` as ``repro_tracker_*_total`` counters
+        #: (one private registry per tracker, composable into a service
+        #: exposition via ``MetricsRegistry.include``).
+        self.metrics = MetricsRegistry()
+        self.stats: CounterDict = CounterDict(
+            self.metrics,
+            "repro_tracker_",
+            keys=(
+                "snapshots",
+                "memo_hits",
+                "reused_sources",
+                "solved_sources",
+                "full_solves",
+                "partial_solves",
+            ),
+            help_prefix="Incremental-tracker work counter: ",
+        )
 
     # ------------------------------------------------------------------ #
     # Observation pipeline

@@ -49,6 +49,13 @@ from repro.engine.oracle import (
     BatchedUniformDeviationOracle,
 )
 from repro.engine.propagator import BlockPropagator, block_distribution_at
+from repro.obs import (
+    default_registry,
+    kernel_profiler,
+    maybe_profile,
+    observability_enabled,
+    trace,
+)
 
 __all__ = [
     "batched_local_mixing_times",
@@ -62,6 +69,27 @@ __all__ = [
 #: Relative slack above the stopping threshold under which a fast bound is
 #: re-verified with the exact oracle (covers floating-point tie noise).
 _VERIFY_SLACK = 1e-9
+
+
+def _engine_hist():
+    """The per-driver-call latency histogram on the process-global
+    registry (``repro_engine_solve_seconds{backend,kind}``); recorded
+    only while observability is enabled."""
+    return default_registry().histogram(
+        "repro_engine_solve_seconds",
+        "Wall seconds per batched engine driver call.",
+        labels=("backend", "kind"),
+    )
+
+
+def _observe_engine_span(span, backend_name: str, kind: str) -> None:
+    """Feed a finished ``engine_solve`` span's duration into the driver
+    latency histogram (no-op when observability was disabled and the
+    span is ``None``)."""
+    if span is not None and span.duration is not None:
+        _engine_hist().labels(backend=backend_name, kind=kind).observe(
+            span.duration
+        )
 
 
 def _exact_best_sum(z: np.ndarray, pre: np.ndarray, R: int) -> float:
@@ -386,28 +414,32 @@ def batched_local_mixing_times(
         backend=backend,
     )
     threshold = eps * threshold_factor
-    be = get_backend(backend)
+    be = maybe_profile(get_backend(backend))
 
     results: list[LocalMixingResult | None] = [None] * len(src)
     if batch_size is None:
         batch_size = len(src)
-    for lo in range(0, len(src), batch_size):
-        chunk = src[lo : lo + batch_size]
-        for pos, res in _solve_chunk(
-            g,
-            chunk,
-            candidates,
-            threshold,
-            t_schedule,
-            t_max,
-            lazy,
-            method,
-            target=target,
-            require_source=require_source,
-            prefilter=prefilter,
-            backend=be,
-        ):
-            results[lo + pos] = res
+    with trace(
+        "engine_solve", backend=be.name, kind="times", sources=len(src)
+    ) as _sp:
+        for lo in range(0, len(src), batch_size):
+            chunk = src[lo : lo + batch_size]
+            for pos, res in _solve_chunk(
+                g,
+                chunk,
+                candidates,
+                threshold,
+                t_schedule,
+                t_max,
+                lazy,
+                method,
+                target=target,
+                require_source=require_source,
+                prefilter=prefilter,
+                backend=be,
+            ):
+                results[lo + pos] = res
+    _observe_engine_span(_sp, be.name, "times")
     missing = [src[i] for i, r in enumerate(results) if r is None]
     if missing:
         raise ConvergenceError(
@@ -461,6 +493,15 @@ def _solve_chunk(
     )
 
     be = backend if backend is not None else get_backend(None)
+    # Pre-bind the screening-volume recorder once per chunk so the
+    # per-step cost is two counter increments (None when observability
+    # is disabled or the degree transcript — an exact prefilter, not a
+    # screen — is in use).
+    screen_record = (
+        kernel_profiler().screen_recorder(be.name)
+        if observability_enabled() and target != "degree"
+        else None
+    )
     cutoff = threshold * (1.0 + _VERIFY_SLACK)
     screen_cutoff = cutoff + be.screen_slack(g.n)
     n_cand = len(candidates)
@@ -506,6 +547,8 @@ def _solve_chunk(
                         scan, int(Rs[r_idx]), k0=k0_all[r_idx]
                     )
             hits = bounds < screen_cutoff
+            if screen_record is not None:
+                screen_record(hits.size, int(np.count_nonzero(hits)))
         exact: dict[int, UniformDeviationOracle] = {}
         resolved: list[int] = []
         for col in map(int, np.flatnonzero(hits.any(axis=0))):
@@ -599,29 +642,35 @@ def batched_local_mixing_profiles(
         g, beta, sources=sources, sizes=sizes, grid_factor=grid_factor,
         t_max=t_max, backend=backend,
     )
-    be = get_backend(backend)
+    be = maybe_profile(get_backend(backend))
     starts = {R: np.arange(g.n - R + 1) for R in candidates}
     out = np.empty((len(src), t_max + 1), dtype=np.float64)
-    prop = BlockPropagator(g, src, lazy=lazy, backend=be)
-    for t in range(t_max + 1):
-        P = prop.advance_to(t)
-        if require_source:
-            for j, s in enumerate(src):
-                uo = UniformDeviationOracle(P[:, j], source=s)
-                out[j, t] = min(
-                    uo.best_sum(R, require_source=True)[0]
-                    for R in candidates
-                )
-            continue
-        oracle = BatchedUniformDeviationOracle(P)
-        for j in range(len(src)):
-            z = oracle.sorted[:, j]
-            pre = oracle.prefix[:, j]
-            best = math.inf
-            for R in candidates:
-                sums = window_deviation_sums(z, pre, R, 1.0 / R, starts[R])
-                best = min(best, float(sums[int(np.argmin(sums))]))
-            out[j, t] = best
+    with trace(
+        "engine_solve", backend=be.name, kind="profiles", sources=len(src)
+    ) as _sp:
+        prop = BlockPropagator(g, src, lazy=lazy, backend=be)
+        for t in range(t_max + 1):
+            P = prop.advance_to(t)
+            if require_source:
+                for j, s in enumerate(src):
+                    uo = UniformDeviationOracle(P[:, j], source=s)
+                    out[j, t] = min(
+                        uo.best_sum(R, require_source=True)[0]
+                        for R in candidates
+                    )
+                continue
+            oracle = BatchedUniformDeviationOracle(P)
+            for j in range(len(src)):
+                z = oracle.sorted[:, j]
+                pre = oracle.prefix[:, j]
+                best = math.inf
+                for R in candidates:
+                    sums = window_deviation_sums(
+                        z, pre, R, 1.0 / R, starts[R]
+                    )
+                    best = min(best, float(sums[int(np.argmin(sums))]))
+                out[j, t] = best
+    _observe_engine_span(_sp, be.name, "profiles")
     return out
 
 
@@ -796,54 +845,69 @@ def batched_local_mixing_spectra(
         backend=backend,
     )
 
-    be = get_backend(backend)
+    be = maybe_profile(get_backend(backend))
     cutoff = eps * (1.0 + _VERIFY_SLACK) + be.screen_slack(g.n)
+    screen_record = (
+        kernel_profiler().screen_recorder(be.name)
+        if observability_enabled()
+        else None
+    )
     Rs = np.asarray(sizes, dtype=np.int64)
     inv_r = be.inverse_sizes(Rs)
     out: list[dict[int, int | float]] = [{} for _ in src]
     col_pos = np.arange(len(src))
     # unresolved[c, r]: column c has not yet mixed at sizes[r].
     unresolved = np.ones((len(src), len(sizes)), dtype=bool)
-    prop = (
-        BlockPropagator(g, src, lazy=lazy, backend=be)
-        if method == "iterative"
-        else None
-    )
-    for t in range(t_max + 1):
-        if col_pos.size == 0:
-            break
-        if prop is not None:
-            P = prop.advance_to(t)
-        else:
-            P = block_distribution_at(
-                g, [src[i] for i in col_pos], t, lazy=lazy
-            )
-        scan = be.sorted_scan(P)
-        k0_all = be.split_points(scan, inv_r)
-        bounds = be.deviation_lower_bounds(scan, Rs, k0=k0_all)
-        exact: dict[int, UniformDeviationOracle] = {}
-        live = unresolved[col_pos]
-        hits = live.T & (bounds < cutoff)
-        for col in map(int, np.flatnonzero(hits.any(axis=0))):
-            uo = exact.get(col)
-            if uo is None:
-                uo = UniformDeviationOracle(
-                    P[:, col],
-                    source=int(src[int(col_pos[col])]) if require_source else None,
-                )
-                exact[col] = uo
-            for r_idx in map(int, np.flatnonzero(hits[:, col])):
-                R = int(Rs[r_idx])
-                s_exact, _ = uo.best_sum(R, require_source=require_source)
-                if s_exact < eps:
-                    pos = int(col_pos[col])
-                    out[pos][R] = t
-                    unresolved[pos, r_idx] = False
-        keep = np.flatnonzero(unresolved[col_pos].any(axis=1))
-        if keep.size < col_pos.size:
-            col_pos = col_pos[keep]
+    with trace(
+        "engine_solve", backend=be.name, kind="spectra", sources=len(src)
+    ) as _sp:
+        prop = (
+            BlockPropagator(g, src, lazy=lazy, backend=be)
+            if method == "iterative"
+            else None
+        )
+        for t in range(t_max + 1):
+            if col_pos.size == 0:
+                break
             if prop is not None:
-                prop.drop_columns(keep)
+                P = prop.advance_to(t)
+            else:
+                P = block_distribution_at(
+                    g, [src[i] for i in col_pos], t, lazy=lazy
+                )
+            scan = be.sorted_scan(P)
+            k0_all = be.split_points(scan, inv_r)
+            bounds = be.deviation_lower_bounds(scan, Rs, k0=k0_all)
+            exact: dict[int, UniformDeviationOracle] = {}
+            live = unresolved[col_pos]
+            hits = live.T & (bounds < cutoff)
+            if screen_record is not None:
+                screen_record(hits.size, int(np.count_nonzero(hits)))
+            for col in map(int, np.flatnonzero(hits.any(axis=0))):
+                uo = exact.get(col)
+                if uo is None:
+                    uo = UniformDeviationOracle(
+                        P[:, col],
+                        source=(
+                            int(src[int(col_pos[col])])
+                            if require_source
+                            else None
+                        ),
+                    )
+                    exact[col] = uo
+                for r_idx in map(int, np.flatnonzero(hits[:, col])):
+                    R = int(Rs[r_idx])
+                    s_exact, _ = uo.best_sum(R, require_source=require_source)
+                    if s_exact < eps:
+                        pos = int(col_pos[col])
+                        out[pos][R] = t
+                        unresolved[pos, r_idx] = False
+            keep = np.flatnonzero(unresolved[col_pos].any(axis=1))
+            if keep.size < col_pos.size:
+                col_pos = col_pos[keep]
+                if prop is not None:
+                    prop.drop_columns(keep)
+    _observe_engine_span(_sp, be.name, "spectra")
     for pos in range(len(src)):
         for R in sizes:
             out[pos].setdefault(R, math.inf)

@@ -1,0 +1,93 @@
+"""Unified observability: metrics registry, query tracing, kernel profiling.
+
+One vocabulary for everything the system measures about itself, shared
+by every tier (engine, parallel executor, serving layer, dynamic
+tracker, benchmarks):
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
+  counters / gauges / fixed-bucket histograms with labeled children, a
+  ``snapshot()`` JSON view, and a Prometheus-text ``render()`` the
+  future HTTP ``/metrics`` endpoint serves verbatim.  Component counter
+  dicts (:class:`~repro.service.ResultCache`,
+  :class:`~repro.service.QueryCoalescer`,
+  :class:`~repro.parallel.ShardExecutor`, the dynamic tracker) are views
+  over registry counters; their documented ``stats()`` shapes are
+  unchanged.
+* :mod:`repro.obs.trace` — span-based per-query timelines threaded
+  ``MixingService.submit`` → coalescer flush → cache lookup → batched
+  engine → kernel calls, with shard workers' timelines shipped back over
+  the executor's task-return channel into the parent trace.
+* :mod:`repro.obs.kernels` — per-backend per-kernel call counts and
+  wall seconds on the :class:`~repro.engine.backends.KernelBackend`
+  seam, plus the ``float32`` screening re-verification rate.
+* :mod:`repro.obs.reporting` — the shared benchmark reporter.
+
+The cost contract (see :mod:`repro.obs.config`): plain counters always
+record; timing instrumentation records only while observability is
+enabled (:func:`set_observability` / :func:`observability` /
+``REPRO_OBS=1``) and costs one boolean check when disabled.  The switch
+never changes results — every result-producing path is bitwise identical
+with observability enabled, disabled, or absent
+(``tests/test_obs.py``; ``benchmarks/bench_o1_observability.py`` gates
+the enabled overhead at < 3%).
+"""
+
+from .config import (
+    OBS_ENV,
+    observability,
+    observability_enabled,
+    set_observability,
+)
+from .kernels import (
+    KernelProfiler,
+    ProfiledBackend,
+    diff_kernel_snapshots,
+    kernel_profiler,
+    maybe_profile,
+)
+from .metrics import (
+    Counter,
+    CounterDict,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .reporting import BenchReporter
+from .trace import (
+    Span,
+    attach_or_record,
+    clear_traces,
+    current_span,
+    recent_traces,
+    start_span,
+    trace,
+    use_span,
+)
+
+__all__ = [
+    "BenchReporter",
+    "Counter",
+    "CounterDict",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "OBS_ENV",
+    "ProfiledBackend",
+    "Span",
+    "attach_or_record",
+    "clear_traces",
+    "current_span",
+    "default_registry",
+    "diff_kernel_snapshots",
+    "kernel_profiler",
+    "maybe_profile",
+    "observability",
+    "observability_enabled",
+    "recent_traces",
+    "set_observability",
+    "start_span",
+    "trace",
+    "use_span",
+]

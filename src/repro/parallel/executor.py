@@ -30,6 +30,21 @@ environment variable (the CI matrix runs the suite under both ``fork`` and
 ``spawn``).  Everything shipped to workers — the module-level task
 functions, :class:`SharedCSRHandle`, knob dictionaries, seeds — is
 picklable, so ``spawn`` (macOS/Windows default) is fully supported.
+
+Observability
+-------------
+Utilization counters live on the executor's
+:class:`~repro.obs.metrics.MetricsRegistry` (``repro_executor_*``, with
+per-worker attribution as a pid-labelled counter family) behind the
+unchanged :meth:`ShardExecutor.stats` dict; :meth:`ShardExecutor.reset`
+zeroes them for windowed measurement.  While tracing is enabled in the
+*parent*, :meth:`ShardExecutor.run_sharded` asks each worker to collect
+(``collect=True`` on the task): the worker scopes observability around
+its solve, wraps it in a ``shard_solve`` span carrying the kernel-profile
+delta of exactly that solve, and ships the span dict back on the existing
+task-return channel — the parent re-attaches each worker timeline under
+the dispatching span and folds the kernel deltas into its own profiler,
+so cross-process kernel time aggregates into one trace.
 """
 
 from __future__ import annotations
@@ -44,6 +59,16 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    attach_or_record,
+    diff_kernel_snapshots,
+    kernel_profiler,
+    observability,
+    observability_enabled,
+    use_span,
+)
 from repro.parallel.shared_csr import SharedCSR, SharedCSRHandle
 from repro.parallel.shared_eigenbasis import (
     SharedEigenbasis,
@@ -174,14 +199,20 @@ def _solve_shard(
     kind: str,
     shard: list[int],
     kwargs: dict,
+    collect: bool = False,
 ):
     """Worker kernel: one batched-engine call on this worker's source shard,
-    returned as ``(worker_pid, results)`` so the parent can attribute the
-    solve in :meth:`ShardExecutor.stats`.
+    returned as ``(worker_pid, results, obs)`` so the parent can attribute
+    the solve in :meth:`ShardExecutor.stats` — ``obs`` is ``None`` unless
+    the parent asked for span collection (``collect=True``: tracing was
+    enabled parent-side), in which case it is the worker's ``shard_solve``
+    span as a :meth:`~repro.obs.trace.Span.to_dict` payload, carrying the
+    kernel-profile delta of exactly this solve in ``meta["kernels"]``.
 
     The batched drivers are reused as-is — the shard's block is exactly the
     single-process engine's chunk for these sources, so per-source outputs
-    are bitwise those of the serial call (loop equivalence).  For spectral
+    are bitwise those of the serial call (loop equivalence; the
+    observability scope only changes what is *recorded*).  For spectral
     solves the parent forwards its eigendecomposition as a
     :class:`SharedEigenbasis` handle; seeding it here means no worker
     re-derives the eigenbasis."""
@@ -194,15 +225,34 @@ def _solve_shard(
     g = _resolve_graph(handle)
     if eigen_handle is not None:
         _seed_eigenbasis(eigen_handle, g)
-    if kind == "times":
-        out = batched_local_mixing_times(g, sources=shard, **kwargs)
-    elif kind == "spectra":
-        out = batched_local_mixing_spectra(g, sources=shard, **kwargs)
-    elif kind == "profiles":
-        out = batched_local_mixing_profiles(g, sources=shard, **kwargs)
-    else:
+    solvers = {
+        "times": batched_local_mixing_times,
+        "spectra": batched_local_mixing_spectra,
+        "profiles": batched_local_mixing_profiles,
+    }
+    solver = solvers.get(kind)
+    if solver is None:
         raise ValueError(f"unknown shard kind {kind!r}")
-    return os.getpid(), out
+    if not collect:
+        return os.getpid(), solver(g, sources=shard, **kwargs), None
+    # Scope observability around exactly this solve so the kernel-profile
+    # delta attributes cleanly even on a warm reused worker.
+    with observability(True):
+        profiler = kernel_profiler()
+        before = profiler.snapshot()
+        span = Span(
+            "shard_solve", {"pid": os.getpid(), "kind": kind,
+                            "sources": len(shard)}
+        )
+        # Ambient-scope the span so the engine's own engine_solve trace
+        # nests under it instead of landing in the worker's root sink.
+        with use_span(span):
+            out = solver(g, sources=shard, **kwargs)
+        span.finish()
+        span.meta["kernels"] = diff_kernel_snapshots(
+            before, profiler.snapshot()
+        )
+    return os.getpid(), out, span.to_dict()
 
 
 def _map_shard(handle: SharedCSRHandle | None, fn: Callable, chunk: list):
@@ -315,13 +365,30 @@ class ShardExecutor:
         # worker threads at once; publication, the stats counters and
         # teardown share this lock (the pool's own submit is thread-safe).
         self._lock = threading.RLock()
-        self._stats: dict = {
-            "calls": 0,
-            "tasks_dispatched": 0,
-            "items_processed": 0,
-            "per_worker_solves": {},
-            "last_shard_sizes": [],
-        }
+        #: The executor's metrics registry (``repro_executor_*``); the
+        #: serving layer composes it into its own exposition.
+        self.metrics = MetricsRegistry()
+        self._calls = self.metrics.counter(
+            "repro_executor_calls_total",
+            "Sharded submissions (run_sharded + map_items).",
+        )
+        self._tasks_dispatched = self.metrics.counter(
+            "repro_executor_tasks_dispatched_total",
+            "Shard tasks sent to the pool.",
+        )
+        self._items_processed = self.metrics.counter(
+            "repro_executor_items_processed_total",
+            "Sources/items across all dispatched tasks.",
+        )
+        self._worker_solves = self.metrics.counter(
+            "repro_executor_worker_solves_total",
+            "Completed shard tasks attributed per worker process.",
+            labels=("pid",),
+        )
+        self.metrics.gauge(
+            "repro_executor_workers", "Configured pool size."
+        ).set(self.n_workers)
+        self._last_shard_sizes: list[int] = []
 
     # -------------------------------------------------------------- #
     # Graph publication
@@ -434,17 +501,43 @@ class ShardExecutor:
             )
         src = [int(s) for s in sources]
         bounds = shard_bounds(len(src), n_shards)
+        # Ask workers for their timelines only while the parent is
+        # tracing; the shipped span dicts ride the normal result tuple.
+        collect = observability_enabled()
         futures = [
             self._pool.submit(
-                _solve_shard, handle, eigen_handle, kind, src[lo:hi], kwargs
+                _solve_shard,
+                handle,
+                eigen_handle,
+                kind,
+                src[lo:hi],
+                kwargs,
+                collect,
             )
             for lo, hi in bounds
         ]
         parts = [f.result() for f in futures]
-        self._record_dispatch(bounds, (pid for pid, _ in parts))
+        self._record_dispatch(bounds, (pid for pid, _, _ in parts))
+        if collect:
+            self._ingest_worker_spans(obs for _, _, obs in parts)
         if kind == "profiles":
-            return np.vstack([part for _, part in parts])
-        return [res for _, part in parts for res in part]
+            return np.vstack([part for _, part, _ in parts])
+        return [res for _, part, _ in parts for res in part]
+
+    def _ingest_worker_spans(self, payloads) -> None:
+        """Fold shipped worker timelines into the parent trace: rebuild
+        each ``shard_solve`` span dict, merge its kernel-profile delta
+        into the parent's profiler, and attach the span under the current
+        ambient span (or record it as a root trace)."""
+        profiler = kernel_profiler()
+        for payload in payloads:
+            if payload is None:
+                continue
+            span = Span.from_dict(payload)
+            delta = span.meta.get("kernels")
+            if delta:
+                profiler.merge(delta)
+            attach_or_record(span)
 
     def map_items(
         self,
@@ -479,35 +572,57 @@ class ShardExecutor:
         """Fold one sharded call into the utilization counters."""
         sizes = [hi - lo for lo, hi in bounds]
         with self._lock:
-            self._stats["calls"] += 1
-            self._stats["tasks_dispatched"] += len(sizes)
-            self._stats["items_processed"] += sum(sizes)
-            self._stats["last_shard_sizes"] = sizes
-            per_worker = self._stats["per_worker_solves"]
+            self._calls.inc()
+            self._tasks_dispatched.inc(len(sizes))
+            self._items_processed.inc(sum(sizes))
+            self._last_shard_sizes = sizes
             for pid in worker_pids:
-                per_worker[pid] = per_worker.get(pid, 0) + 1
+                self._worker_solves.labels(pid=pid).inc()
 
     def stats(self) -> dict:
-        """Utilization counters since construction (a snapshot copy).
+        """Utilization counters since construction — or since the last
+        :meth:`reset` — as a snapshot copy (mutating it never affects the
+        executor).
 
         Keys: ``calls`` (sharded submissions — ``run_sharded`` +
         ``map_items``), ``tasks_dispatched`` (shard tasks sent to the
         pool), ``items_processed`` (sources/items across all tasks),
         ``per_worker_solves`` (``{worker_pid: completed shard tasks}`` —
-        how evenly the pool was used), ``last_shard_sizes`` (the shard
-        partition of the most recent call), plus ``n_workers``,
-        ``published_graphs`` and ``published_eigenbases``.  The serving
-        layer and ``bench_s1`` report
-        these; they never affect results.
+        how evenly the pool was used, **cumulative across calls**),
+        ``last_shard_sizes`` (the shard partition of the most recent call
+        only), plus ``n_workers``, ``published_graphs`` and
+        ``published_eigenbases``.  The serving layer and ``bench_s1``
+        report these; they never affect results.
         """
         with self._lock:
-            out = dict(self._stats)
-            out["per_worker_solves"] = dict(self._stats["per_worker_solves"])
-            out["last_shard_sizes"] = list(self._stats["last_shard_sizes"])
-            out["n_workers"] = self.n_workers
-            out["published_graphs"] = len(self._published)
-            out["published_eigenbases"] = len(self._published_eigen)
-            return out
+            return {
+                "calls": self._calls.value,
+                "tasks_dispatched": self._tasks_dispatched.value,
+                "items_processed": self._items_processed.value,
+                "per_worker_solves": {
+                    int(label_values[0]): leaf.value
+                    for label_values, leaf in self._worker_solves.series()
+                },
+                "last_shard_sizes": list(self._last_shard_sizes),
+                "n_workers": self.n_workers,
+                "published_graphs": len(self._published),
+                "published_eigenbases": len(self._published_eigen),
+            }
+
+    def reset(self) -> None:
+        """Zero the utilization counters (``calls``, ``tasks_dispatched``,
+        ``items_processed``, the cumulative ``per_worker_solves``
+        attribution) and clear ``last_shard_sizes``, so the next
+        :meth:`stats` snapshot covers exactly the work dispatched after
+        this call — benchmarks use it to attribute one timed run without
+        warm-up arithmetic.  Configuration values (``n_workers``, the
+        published-segment counts) are unaffected."""
+        with self._lock:
+            self._calls.reset()
+            self._tasks_dispatched.reset()
+            self._items_processed.reset()
+            self._worker_solves.reset()
+            self._last_shard_sizes = []
 
     def _resolve_shards(self, n_shards: int | None) -> int:
         """Default the shard count to the pool size; an explicit value

@@ -29,6 +29,13 @@ new snapshot, so only *dirty* sources (those the edit could actually
 reach) miss and get recomputed.  Under ``target="degree"`` an entry is
 carried only when the mutation preserved the degree vector, mirroring the
 tracker's soundness guard.
+
+Observability: the counters live on a
+:class:`~repro.obs.metrics.MetricsRegistry` (``repro_cache_*_total``
+counters plus ``repro_cache_size`` / ``repro_cache_maxsize`` gauges) —
+by default a private one per cache, or a shared registry passed by the
+owning service so one ``render()`` covers every component.  The
+documented :meth:`ResultCache.stats` dict shape is unchanged.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ import numpy as np
 
 from repro.engine.batch import TimesKey
 from repro.graphs.base import Graph
+from repro.obs import MetricsRegistry
 
 __all__ = ["ResultCache"]
 
@@ -52,6 +60,11 @@ class ResultCache:
     maxsize:
         Entry bound; least recently used entries beyond it are evicted
         (``0`` disables caching — every lookup misses, nothing is stored).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to record
+        the cache counters on (the owning service passes its own so all
+        component metrics share one exposition); a private registry is
+        created when omitted and exposed as :attr:`metrics`.
 
     Counters (exposed by :meth:`stats`): ``hits`` / ``misses`` (lookup
     outcomes), ``inflight_hits`` (queries answered by awaiting an already
@@ -62,17 +75,38 @@ class ResultCache:
     from the event loop while benchmarks may inspect them from anywhere.
     """
 
-    def __init__(self, maxsize: int = 4096):
+    def __init__(
+        self, maxsize: int = 4096, *, registry: MetricsRegistry | None = None
+    ):
         if maxsize < 0:
             raise ValueError("maxsize must be >= 0")
         self.maxsize = int(maxsize)
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._inflight_hits = 0
-        self._carried = 0
-        self._evictions = 0
+        self._hits = self.metrics.counter(
+            "repro_cache_hits_total", "Result-cache lookup hits."
+        )
+        self._misses = self.metrics.counter(
+            "repro_cache_misses_total", "Result-cache lookup misses."
+        )
+        self._inflight_hits = self.metrics.counter(
+            "repro_cache_inflight_hits_total",
+            "Queries deduplicated against an in-flight identical solve.",
+        )
+        self._carried = self.metrics.counter(
+            "repro_cache_carried_forward_total",
+            "Entries re-keyed onto a mutated snapshot by locality pruning.",
+        )
+        self._evictions = self.metrics.counter(
+            "repro_cache_evictions_total", "LRU evictions past the bound."
+        )
+        self._size_gauge = self.metrics.gauge(
+            "repro_cache_size", "Entries currently cached."
+        )
+        self.metrics.gauge(
+            "repro_cache_maxsize", "Configured result-cache entry bound."
+        ).set(self.maxsize)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,9 +118,9 @@ class ResultCache:
         with self._lock:
             res = self._entries.get(k)
             if res is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
-            self._hits += 1
+            self._hits.inc()
             self._entries.move_to_end(k)
             return res
 
@@ -100,12 +134,12 @@ class ResultCache:
             self._entries.move_to_end(k)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
+            self._size_gauge.set(len(self._entries))
 
     def count_inflight_hit(self) -> None:
         """Record one query deduplicated against an in-flight computation."""
-        with self._lock:
-            self._inflight_hits += 1
+        self._inflight_hits.inc()
 
     # ------------------------------------------------------------------ #
     # Dynamic-graph integration
@@ -161,10 +195,11 @@ class ResultCache:
                 self._entries[new_key] = res
                 self._entries.move_to_end(new_key)
                 carried += 1
-                self._carried += 1
+                self._carried.inc()
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
-                    self._evictions += 1
+                    self._evictions.inc()
+            self._size_gauge.set(len(self._entries))
         return carried
 
     def invalidate_graph(self, g: Graph) -> int:
@@ -176,22 +211,26 @@ class ResultCache:
             stale = [k for k in self._entries if k[0] == g]
             for k in stale:
                 del self._entries[k]
+            self._size_gauge.set(len(self._entries))
         return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._size_gauge.set(0)
 
     def stats(self) -> dict:
-        """A snapshot of the counters plus the current size."""
+        """A snapshot of the counters plus the current size (the same
+        dict shape as before the registry migration — a thin view over
+        the ``repro_cache_*`` metrics)."""
         with self._lock:
             return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "inflight_hits": self._inflight_hits,
-                "carried_forward": self._carried,
-                "evictions": self._evictions,
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "inflight_hits": self._inflight_hits.value,
+                "carried_forward": self._carried.value,
+                "evictions": self._evictions.value,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
             }

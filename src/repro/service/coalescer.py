@@ -26,6 +26,17 @@ The coalescer is event-loop-affine: all bookkeeping runs on the loop
 thread, and only the solve itself is pushed to a worker thread
 (``asyncio.to_thread``), where the engine's thread-safe shared caches
 apply.
+
+Observability: the flush counters live on a
+:class:`~repro.obs.metrics.MetricsRegistry` (``repro_coalescer_*``)
+behind the unchanged :meth:`QueryCoalescer.stats` view.  While tracing
+is enabled each flushed group gets a **detached** ``coalesced_batch``
+span (detached because the batch is shared work — parenting it under
+whichever query happened to arrive first would be nondeterministic);
+the engine's ``engine_solve`` span nests under it via the context
+carried into ``asyncio.to_thread``, and the finished span rides each
+waiter future (``fut._obs_span``) so every query's own trace adopts it
+(see ``MixingService.submit``).
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ import asyncio
 from typing import Callable
 
 from repro.graphs.base import Graph
+from repro.obs import MetricsRegistry, start_span, use_span
 
 __all__ = ["QueryCoalescer"]
 
@@ -70,6 +82,10 @@ class QueryCoalescer:
         event-loop turn: the flush runs as a zero-delay callback).
     max_batch:
         Distinct-source bound per group; reaching it flushes immediately.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` for
+        the coalescing counters (private when omitted); exposed as
+        :attr:`metrics`.
     """
 
     def __init__(
@@ -78,6 +94,7 @@ class QueryCoalescer:
         *,
         window: float = 0.002,
         max_batch: int = 64,
+        registry: MetricsRegistry | None = None,
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
@@ -88,14 +105,27 @@ class QueryCoalescer:
         self.max_batch = int(max_batch)
         self._groups: dict[tuple, _Group] = {}
         self._tasks: set[asyncio.Task] = set()
-        self._stats = {
-            "queries": 0,
-            "batches": 0,
-            "window_flushes": 0,
-            "size_flushes": 0,
-            "drain_flushes": 0,
-            "largest_batch": 0,
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._queries = self.metrics.counter(
+            "repro_coalescer_queries_total", "Queries admitted for coalescing."
+        )
+        self._batches = self.metrics.counter(
+            "repro_coalescer_batches_total",
+            "Batched engine calls dispatched (flushed groups).",
+        )
+        # One counter per flush trigger, keyed by the legacy stats() name.
+        self._flush_counters = {
+            reason: self.metrics.counter(
+                f"repro_coalescer_{reason}_total",
+                f"Groups flushed by the {reason.removesuffix('_flushes')} "
+                "trigger.",
+            )
+            for reason in ("window_flushes", "size_flushes", "drain_flushes")
         }
+        self._largest_batch = self.metrics.gauge(
+            "repro_coalescer_largest_batch",
+            "Largest distinct-source batch flushed so far.",
+        )
 
     # ------------------------------------------------------------------ #
     # Enqueue + flush machinery
@@ -122,7 +152,7 @@ class QueryCoalescer:
             )
         fut: asyncio.Future = loop.create_future()
         group.pending.setdefault(int(source), []).append(fut)
-        self._stats["queries"] += 1
+        self._queries.inc()
         if len(group.pending) >= self.max_batch:
             self._flush(key, "size_flushes")
         return fut
@@ -134,32 +164,46 @@ class QueryCoalescer:
             return  # already flushed by the other trigger
         if group.timer is not None:
             group.timer.cancel()
-        self._stats["batches"] += 1
-        self._stats[reason] += 1
-        self._stats["largest_batch"] = max(
-            self._stats["largest_batch"], len(group.pending)
+        self._batches.inc()
+        self._flush_counters[reason].inc()
+        self._largest_batch.set_max(len(group.pending))
+        # Detached span: the batch is shared by every waiter, so it has no
+        # single query parent; each waiter adopts it off its future.
+        span = start_span(
+            "coalesced_batch",
+            detached=True,
+            sources=len(group.pending),
+            trigger=reason,
         )
-        task = asyncio.ensure_future(self._run_batch(group))
+        task = asyncio.ensure_future(self._run_batch(group, span))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, group: _Group) -> None:
+    async def _run_batch(self, group: _Group, span=None) -> None:
         """Solve one detached group on a worker thread and fan the
         per-source results (or the failure) out to every waiter."""
         sources = list(group.pending)  # insertion order, distinct
         try:
-            results = await asyncio.to_thread(
-                self._solve, group.graph, sources, group.kwargs
-            )
+            with use_span(span):
+                results = await asyncio.to_thread(
+                    self._solve, group.graph, sources, group.kwargs
+                )
         except BaseException as exc:  # noqa: BLE001 - forwarded, not handled
+            if span is not None:
+                span.meta["error"] = type(exc).__name__
+                span.finish()
             for waiters in group.pending.values():
                 for fut in waiters:
                     if not fut.done():
                         fut.set_exception(exc)
             return
+        if span is not None:
+            span.finish()
         for source, result in zip(sources, results):
             for fut in group.pending[source]:
                 if not fut.done():
+                    if span is not None:
+                        fut._obs_span = span
                     fut.set_result(result)
 
     # ------------------------------------------------------------------ #
@@ -183,12 +227,20 @@ class QueryCoalescer:
         """Coalescing counters: ``queries``, ``batches`` (engine calls),
         flush-trigger breakdown, ``largest_batch``, and the derived
         ``coalesced`` (queries answered without their own engine call) and
-        currently ``pending`` queries."""
-        out = dict(self._stats)
-        out["coalesced"] = out["queries"] - out["batches"] - sum(
+        currently ``pending`` queries.  The dict shape predates (and is
+        preserved across) the metrics-registry migration."""
+        out = {
+            "queries": self._queries.value,
+            "batches": self._batches.value,
+            **{
+                reason: counter.value
+                for reason, counter in self._flush_counters.items()
+            },
+            "largest_batch": self._largest_batch.value,
+        }
+        pending = sum(
             len(w) for g in self._groups.values() for w in g.pending.values()
         )
-        out["pending"] = sum(
-            len(w) for g in self._groups.values() for w in g.pending.values()
-        )
+        out["coalesced"] = out["queries"] - out["batches"] - pending
+        out["pending"] = pending
         return out

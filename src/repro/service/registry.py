@@ -32,6 +32,7 @@ import numpy as np
 from repro.dynamic.graph import DynamicGraph
 from repro.dynamic.tracker import edit_distance_bounds
 from repro.graphs.base import Graph
+from repro.obs import MetricsRegistry
 
 __all__ = ["GraphRegistry"]
 
@@ -57,9 +58,18 @@ class GraphRegistry:
         grow the map without bound; evicting an entry is always sound —
         the next resolve simply starts fresh, forgoing one carry-forward
         opportunity, never correctness.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` for
+        the ``repro_registry_*`` counters (private when omitted); exposed
+        as :attr:`metrics`.  The :meth:`stats` dict shape is unchanged.
     """
 
-    def __init__(self, *, max_tracked: int = 64):
+    def __init__(
+        self,
+        *,
+        max_tracked: int = 64,
+        registry: MetricsRegistry | None = None,
+    ):
         if max_tracked < 1:
             raise ValueError("max_tracked must be >= 1")
         self._named: dict[str, Graph | DynamicGraph] = {}
@@ -71,7 +81,18 @@ class GraphRegistry:
         )
         self._max_tracked = int(max_tracked)
         self._listeners: list[Callable] = []
-        self._stats = {"changes": 0, "n_changes": 0, "resolves": 0}
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._resolves = self.metrics.counter(
+            "repro_registry_resolves_total", "Graph-reference resolutions."
+        )
+        self._changes = self.metrics.counter(
+            "repro_registry_changes_total",
+            "Same-n dynamic-snapshot changes reported to listeners.",
+        )
+        self._n_changes = self.metrics.counter(
+            "repro_registry_n_changes_total",
+            "Dynamic-snapshot changes that altered the node count.",
+        )
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -119,7 +140,7 @@ class GraphRegistry:
         snapshotted, and a changed snapshot fires the change listeners
         before the new snapshot is returned.
         """
-        self._stats["resolves"] += 1
+        self._resolves.inc()
         if isinstance(ref, str):
             obj = self._named.get(ref)
             if obj is None:
@@ -136,7 +157,7 @@ class GraphRegistry:
         prev = tracked[1] if tracked is not None else None
         if prev is not None and prev is not new:
             if prev.n == new.n:
-                self._stats["changes"] += 1
+                self._changes.inc()
                 dmin = edit_distance_bounds(prev, new)
                 degrees_equal = bool(
                     np.array_equal(prev.degrees, new.degrees)
@@ -144,7 +165,7 @@ class GraphRegistry:
                 for listener in self._listeners:
                     listener(prev, new, dmin, degrees_equal)
             else:
-                self._stats["n_changes"] += 1
+                self._n_changes.inc()
         self._tracked[id(ref)] = (ref, new)
         self._tracked.move_to_end(id(ref))
         while len(self._tracked) > self._max_tracked:
@@ -154,8 +175,12 @@ class GraphRegistry:
     def stats(self) -> dict:
         """Counters: ``resolves``, ``changes`` (same-``n`` snapshot moves
         reported to listeners), ``n_changes`` (node-count moves), plus the
-        current ``registered`` and ``tracked`` graph counts."""
-        out = dict(self._stats)
-        out["registered"] = len(self._named)
-        out["tracked"] = len(self._tracked)
-        return out
+        current ``registered`` and ``tracked`` graph counts.  The dict
+        shape is unchanged by the metrics-registry migration."""
+        return {
+            "changes": self._changes.value,
+            "n_changes": self._n_changes.value,
+            "resolves": self._resolves.value,
+            "registered": len(self._named),
+            "tracked": len(self._tracked),
+        }

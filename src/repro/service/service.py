@@ -29,6 +29,17 @@ The service is an async context manager; leaving the context (or calling
 :meth:`MixingService.aclose`) drains the coalescer — every admitted query
 is answered, never dropped — and closes a worker pool the service created
 for itself.
+
+Observability: every component records onto one shared
+:class:`~repro.obs.metrics.MetricsRegistry`, and :attr:`MixingService.metrics`
+additionally composes in the executor's and the process-global engine /
+kernel registries — so ``service.metrics.render()`` is the complete
+Prometheus payload a ``/metrics`` endpoint serves.  With tracing enabled
+(:func:`repro.obs.set_observability`) each :meth:`MixingService.submit`
+produces a ``query`` span whose children record the cache lookup, the
+adopted ``coalesced_batch`` → ``engine_solve`` spans of the batch that
+answered it, and — under a sharded solve — per-worker ``shard_solve``
+spans shipped back from the pool.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ import threading
 from repro.engine.backends import get_backend
 from repro.engine.batch import batched_local_mixing_times
 from repro.graphs.base import Graph
+from repro.obs import MetricsRegistry, attach_or_record, default_registry, trace
 from repro.service.cache import ResultCache
 from repro.service.coalescer import QueryCoalescer
 from repro.service.query import ExecutionKey, MixingQuery
@@ -93,11 +105,22 @@ class MixingService:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.registry = registry if registry is not None else GraphRegistry()
-        self._cache = ResultCache(cache_size)
+        # One shared registry for every component this service owns; the
+        # graph registry (possibly caller-supplied, possibly shared by
+        # several services) keeps its own and is composed in below.
+        self._metrics = MetricsRegistry()
+        self._cache = ResultCache(cache_size, registry=self._metrics)
         self._coalescer = QueryCoalescer(
-            self._solve_batch, window=window, max_batch=max_batch
+            self._solve_batch,
+            window=window,
+            max_batch=max_batch,
+            registry=self._metrics,
         )
+        self._metrics.include(self.registry.metrics)
+        self._metrics.include(default_registry())
         self._executor = executor
+        if executor is not None:
+            self._metrics.include(executor.metrics)
         self._owns_executor = False
         self._n_workers = n_workers
         # Guards lazy pool creation: batches solve on concurrent engine
@@ -119,45 +142,60 @@ class MixingService:
         errors before any work is scheduled."""
         if self._closed:
             raise RuntimeError("MixingService is closed")
-        g = self.registry.resolve(query.graph)
-        source = int(query.source)
-        if not 0 <= source < g.n:
-            raise ValueError("source out of range")
-        tkey = query.semantic_key(g)
-        cache_key = (g, source, tkey)
+        with trace("query", source=int(query.source)) as qspan:
+            g = self.registry.resolve(query.graph)
+            source = int(query.source)
+            if not 0 <= source < g.n:
+                raise ValueError("source out of range")
+            tkey = query.semantic_key(g)
+            cache_key = (g, source, tkey)
 
-        # In-flight first: a key is in flight XOR cached XOR neither (the
-        # completion callback retires one and fills the other atomically
-        # on the loop), and dedup-served queries should not count as cache
-        # misses — they never cost a solve.
-        inflight = self._inflight.get(cache_key)
-        if inflight is not None:
-            self._cache.count_inflight_hit()
-            return await asyncio.shield(inflight)
-        cached = self._cache.get(*cache_key)
-        if cached is not None:
-            return cached
+            # In-flight first: a key is in flight XOR cached XOR neither
+            # (the completion callback retires one and fills the other
+            # atomically on the loop), and dedup-served queries should not
+            # count as cache misses — they never cost a solve.
+            inflight = self._inflight.get(cache_key)
+            if inflight is not None:
+                self._cache.count_inflight_hit()
+                if qspan is not None:
+                    qspan.meta["outcome"] = "inflight_dedup"
+                result = await asyncio.shield(inflight)
+                self._adopt_batch_span(inflight)
+                return result
+            with trace("cache_lookup") as cspan:
+                cached = self._cache.get(*cache_key)
+            if cached is not None:
+                if qspan is not None:
+                    qspan.meta["outcome"] = "cache_hit"
+                return cached
+            if cspan is not None:
+                cspan.meta["outcome"] = "miss"
 
-        exec_key = ExecutionKey(
-            times=tkey,
-            batch_size=query.batch_size,
-            prefilter=query.prefilter,
-            # Resolved to its registered name so backend=None and the
-            # default backend's explicit name coalesce into one group;
-            # the semantic cache key above excludes the backend entirely
-            # (results are backend-independent by contract).
-            backend=get_backend(query.backend).name,
-        )
-        fut = self._coalescer.enqueue(
-            g, exec_key, source, query.engine_kwargs()
-        )
-        self._inflight[cache_key] = fut
-        fut.add_done_callback(
-            lambda f, key=cache_key: self._finish(key, f)
-        )
-        # shield(): one client cancelling its await must not cancel the
-        # shared future other waiters (and the cache insert) hang off.
-        return await asyncio.shield(fut)
+            exec_key = ExecutionKey(
+                times=tkey,
+                batch_size=query.batch_size,
+                prefilter=query.prefilter,
+                # Resolved to its registered name so backend=None and the
+                # default backend's explicit name coalesce into one group;
+                # the semantic cache key above excludes the backend
+                # entirely (results are backend-independent by contract).
+                backend=get_backend(query.backend).name,
+            )
+            fut = self._coalescer.enqueue(
+                g, exec_key, source, query.engine_kwargs()
+            )
+            self._inflight[cache_key] = fut
+            fut.add_done_callback(
+                lambda f, key=cache_key: self._finish(key, f)
+            )
+            if qspan is not None:
+                qspan.meta["outcome"] = "solved"
+            # shield(): one client cancelling its await must not cancel
+            # the shared future other waiters (and the cache insert) hang
+            # off.
+            result = await asyncio.shield(fut)
+            self._adopt_batch_span(fut)
+            return result
 
     async def submit_many(self, queries) -> list:
         """Answer many queries concurrently (results in query order) —
@@ -165,6 +203,14 @@ class MixingService:
         return list(
             await asyncio.gather(*(self.submit(q) for q in queries))
         )
+
+    @staticmethod
+    def _adopt_batch_span(fut: asyncio.Future) -> None:
+        """Attach the finished ``coalesced_batch`` span riding ``fut``
+        (set by the coalescer when tracing is enabled) into the calling
+        query's own trace — every waiter of a shared batch adopts the
+        same span object."""
+        attach_or_record(getattr(fut, "_obs_span", None))
 
     def _finish(self, cache_key: tuple, fut: asyncio.Future) -> None:
         """Loop callback when a solve future resolves: retire the
@@ -202,7 +248,9 @@ class MixingService:
                 if self._executor is None:
                     from repro.parallel import ShardExecutor
 
-                    self._executor = ShardExecutor(self._n_workers)
+                    ex = ShardExecutor(self._n_workers)
+                    self._metrics.include(ex.metrics)
+                    self._executor = ex
                     self._owns_executor = True
         return self._executor
 
@@ -236,6 +284,15 @@ class MixingService:
     async def __aexit__(self, *exc) -> None:
         """Drain and close on context exit."""
         await self.aclose()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's composed metrics registry: cache + coalescer
+        counters, the graph registry's, an attached executor's, and the
+        process-global engine/kernel metrics — ``metrics.render()`` is
+        the full Prometheus payload for a ``/metrics`` endpoint, and
+        ``metrics.snapshot()`` its JSON twin."""
+        return self._metrics
 
     def stats(self) -> dict:
         """One dictionary of every layer's counters: ``cache`` (hits /

@@ -1,0 +1,502 @@
+"""The observability layer: metrics registry, tracing, kernel profiling.
+
+Two contracts dominate:
+
+1. **Purity** — observability never changes results.  Every
+   result-producing path (times / profiles / spectra drivers, every
+   backend, serial and sharded) is bitwise identical with the switch
+   enabled and disabled, and the instrumentation wrappers delegate
+   kernel calls untouched.
+2. **Fidelity** — what the registry reports is exactly what happened:
+   counters survive a multi-thread hammer with exact totals, histogram
+   buckets follow Prometheus ``le`` (inclusive) semantics, spans nest in
+   call order, and worker-process spans/kernel profiles aggregate into
+   the parent trace at every worker count under both start methods.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    batched_local_mixing_profiles,
+    batched_local_mixing_spectra,
+    batched_local_mixing_times,
+)
+from repro.engine.backends import available_backends, get_backend
+from repro.graphs import random_regular
+from repro.obs import (
+    BenchReporter,
+    CounterDict,
+    MetricsRegistry,
+    ProfiledBackend,
+    Span,
+    attach_or_record,
+    clear_traces,
+    current_span,
+    default_registry,
+    diff_kernel_snapshots,
+    kernel_profiler,
+    maybe_profile,
+    observability,
+    observability_enabled,
+    recent_traces,
+    set_observability,
+    start_span,
+    trace,
+    use_span,
+)
+from repro.parallel import ShardExecutor, parallel_local_mixing_times
+from repro.service import MixingQuery, MixingService
+
+BETA = 4.0
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """Every test starts disabled with an empty trace sink, and leaves
+    the global switch the way it found it."""
+    prev = set_observability(False)
+    clear_traces()
+    yield
+    set_observability(prev)
+    clear_traces()
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return random_regular(40, 4, seed=3)
+
+
+# --------------------------------------------------------------------- #
+# Metrics primitives
+# --------------------------------------------------------------------- #
+
+
+def test_counter_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_events_total", "Test events.")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    # Idempotent get-or-create returns the same object.
+    assert reg.counter("repro_test_events_total") is c
+
+
+def test_gauge_set_inc_and_high_water():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_test_depth", "Test depth.")
+    g.set(3.0)
+    g.inc(-1.5)
+    assert g.value == 1.5
+    g.set_max(7)
+    g.set_max(2)  # lower values never win
+    assert g.value == 7
+
+
+def test_histogram_bucket_boundaries_are_le_inclusive():
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "repro_test_seconds", "Test latency.", buckets=(1.0, 2.0)
+    )
+    h.observe(1.0)  # exactly on the edge: counts into le=1.0
+    h.observe(1.5)
+    h.observe(9.0)  # beyond the last bucket: +Inf only
+    assert h.count == 3
+    assert h.sum == pytest.approx(11.5)
+    # Cumulative per-bucket counts, trailing +Inf included.
+    assert h.cumulative_counts() == [1, 2, 3]
+    snap = reg.snapshot()["repro_test_seconds"]["series"][0]
+    assert snap["buckets"] == {"1.0": 1, "2.0": 2, "+Inf": 3}
+    with pytest.raises(ValueError):
+        reg.histogram(
+            "repro_test_bad", "Not increasing.", buckets=(2.0, 1.0)
+        )
+
+
+def test_registry_rejects_kind_and_label_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("repro_test_things_total", "Things.")
+    with pytest.raises(ValueError):
+        reg.gauge("repro_test_things_total")
+    reg.counter("repro_test_labeled_total", "Labeled.", labels=("kind",))
+    with pytest.raises(ValueError):
+        reg.counter("repro_test_labeled_total", labels=("other",))
+    with pytest.raises(ValueError):
+        reg.counter("0bad name")
+
+
+def test_labeled_children_and_series():
+    reg = MetricsRegistry()
+    fam = reg.counter(
+        "repro_test_calls_total", "Calls.", labels=("backend", "kernel")
+    )
+    fam.labels(backend="f32", kernel="step").inc(2)
+    fam.labels(backend="ref", kernel="step").inc()
+    # Same label values → same child.
+    assert fam.labels(backend="f32", kernel="step").value == 2
+    with pytest.raises(ValueError):
+        fam.labels(backend="f32")  # incomplete label set
+    series = fam.series()
+    assert [lv for lv, _ in series] == [("f32", "step"), ("ref", "step")]
+    text = reg.render()
+    assert 'repro_test_calls_total{backend="f32",kernel="step"} 2' in text
+
+
+def test_counterdict_is_a_counter_view():
+    reg = MetricsRegistry()
+    stats = CounterDict(reg, "repro_test_", keys=("hits", "misses"))
+    stats["hits"] += 3
+    stats["misses"] = 2
+    assert stats["hits"] == 3
+    assert dict(stats) == {"hits": 3, "misses": 2}
+    assert stats.get("absent", 0) == 0
+    # The view is backed by real registry counters.
+    assert reg.counter("repro_test_hits_total").value == 3
+
+
+def test_include_composes_and_dedups():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("repro_test_a_total", "A.").inc()
+    b.counter("repro_test_b_total", "B.").inc(2)
+    a.include(b)
+    a.include(b)  # idempotent
+    b.include(a)  # cycles are safe
+    text = a.render()
+    assert "repro_test_a_total 1" in text
+    assert "repro_test_b_total 2" in text
+    assert text.count("# HELP repro_test_b_total") == 1
+    snap = a.snapshot()
+    assert set(snap) >= {"repro_test_a_total", "repro_test_b_total"}
+    with pytest.raises(TypeError):
+        a.include({})
+
+
+def test_registry_thread_hammer_exact_totals():
+    reg = MetricsRegistry()
+    plain = reg.counter("repro_test_hammer_total", "Hammered.")
+    fam = reg.counter(
+        "repro_test_hammer_labeled_total", "Hammered children.",
+        labels=("worker",),
+    )
+    n_threads, per_thread = 8, 5000
+
+    def pound(i):
+        child = fam.labels(worker=str(i % 2))
+        for _ in range(per_thread):
+            plain.inc()
+            child.inc()
+
+    threads = [
+        threading.Thread(target=pound, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert plain.value == n_threads * per_thread
+    assert sum(v.value for _, v in fam.series()) == n_threads * per_thread
+
+
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    rf"(\{{{_PROM_LABEL}(,{_PROM_LABEL})*\}})?"  # optional label set
+    r" [0-9eE.+-]+(inf)?$"  # value
+)
+
+
+def _assert_prometheus_parseable(text: str) -> None:
+    """Every non-comment line must be a well-formed sample line."""
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"unparseable sample line: {line!r}"
+
+
+def test_render_is_parseable_prometheus_text():
+    reg = MetricsRegistry()
+    reg.counter("repro_test_c_total", "C.").inc()
+    reg.gauge("repro_test_g", "G.").set(1.25)
+    h = reg.histogram("repro_test_h_seconds", "H.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(2.0)
+    fam = reg.counter("repro_test_l_total", "L.", labels=("k",))
+    fam.labels(k='quo"te\\n').inc()
+    text = reg.render()
+    _assert_prometheus_parseable(text)
+    assert '_bucket{le="+Inf"} 2' in text
+    assert "repro_test_h_seconds_count 2" in text
+
+
+# --------------------------------------------------------------------- #
+# The switch
+# --------------------------------------------------------------------- #
+
+
+def test_observability_switch_and_context():
+    assert not observability_enabled()
+    prev = set_observability(True)
+    assert prev is False and observability_enabled()
+    with observability(False):
+        assert not observability_enabled()
+        with observability(True):
+            assert observability_enabled()
+        assert not observability_enabled()
+    assert observability_enabled()
+    set_observability(prev)
+
+
+# --------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------- #
+
+
+def test_trace_disabled_is_free_and_yields_none():
+    with trace("query") as span:
+        assert span is None
+    assert start_span("anything") is None
+    assert current_span() is None
+    assert recent_traces() == []
+
+
+def test_span_nesting_and_ordering():
+    with observability(True):
+        with trace("root", source=7) as root:
+            with trace("first"):
+                with trace("inner"):
+                    pass
+            with trace("second"):
+                pass
+    assert root.meta["source"] == 7
+    assert [c.name for c in root.children] == ["first", "second"]
+    assert [c.name for c in root.children[0].children] == ["inner"]
+    assert root.duration is not None and root.duration >= 0
+    roots = recent_traces()
+    assert roots[-1] is root  # only the root lands in the sink
+    assert all(s.name == "root" for s in roots)
+    clear_traces()
+    assert recent_traces() == []
+
+
+def test_detached_span_adoption():
+    with observability(True):
+        shared = start_span("coalesced_batch", detached=True, sources=3)
+        shared.finish()
+        with trace("query_a") as qa:
+            attach_or_record(shared)
+        with trace("query_b") as qb:
+            attach_or_record(shared)
+        attach_or_record(None)  # no-op
+    # Both queries adopted the same span object; it never became a root.
+    assert qa.children == [shared] and qb.children == [shared]
+    assert shared not in recent_traces()
+
+
+def test_span_dict_roundtrip():
+    with observability(True):
+        with trace("parent", pid=123) as span:
+            with trace("child", kind="times"):
+                pass
+    clone = Span.from_dict(span.to_dict())
+    assert clone.name == "parent" and clone.meta == {"pid": 123}
+    assert clone.duration == span.duration
+    assert clone.find("child").meta == {"kind": "times"}
+    assert clone.to_dict() == span.to_dict()
+
+
+def test_use_span_reparents_across_threads_via_to_thread():
+    async def main():
+        with observability(True):
+            shared = start_span("batch", detached=True)
+            with use_span(shared):
+                await asyncio.to_thread(probe)
+            shared.finish()
+        return shared
+
+    def probe():
+        with trace("work"):
+            pass
+
+    shared = asyncio.run(main())
+    assert [c.name for c in shared.children] == ["work"]
+
+
+# --------------------------------------------------------------------- #
+# Kernel profiling
+# --------------------------------------------------------------------- #
+
+
+def test_maybe_profile_is_identity_when_disabled():
+    be = get_backend("reference")
+    assert maybe_profile(be) is be
+    with observability(True):
+        prof = maybe_profile(be)
+        assert isinstance(prof, ProfiledBackend)
+        assert prof.wrapped is be and prof.name == be.name
+        # Already-profiled backends are not wrapped twice.
+        assert maybe_profile(prof) is prof
+
+
+def test_profiler_records_engine_kernel_calls(small_graph):
+    profiler = kernel_profiler()
+    before = profiler.snapshot()
+    with observability(True):
+        batched_local_mixing_times(small_graph, BETA, sources=range(8))
+    delta = diff_kernel_snapshots(before, kernel_profiler().snapshot())
+    kernels = {k.split("/")[1] for k in delta["kernels"]}
+    assert "step_block" in kernels
+    assert "deviation_lower_bounds" in kernels
+    for entry in delta["kernels"].values():
+        assert entry["calls"] > 0 and entry["seconds"] >= 0
+
+
+def test_float32_screening_rate_is_recorded(small_graph):
+    profiler = kernel_profiler()
+    before = profiler.snapshot()
+    with observability(True):
+        batched_local_mixing_times(
+            small_graph, BETA, sources=range(8), backend="float32"
+        )
+    delta = diff_kernel_snapshots(before, kernel_profiler().snapshot())
+    screen = delta["screen"]["float32"]
+    assert screen["pairs"] > 0
+    assert 0 <= screen["flagged"] <= screen["pairs"]
+
+
+# --------------------------------------------------------------------- #
+# Purity: identical results with observability on and off
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+@pytest.mark.parametrize("kind", ["times", "profiles", "spectra"])
+def test_results_identical_enabled_vs_disabled(small_graph, kind, backend):
+    g = small_graph
+
+    def solve():
+        if kind == "times":
+            return batched_local_mixing_times(g, BETA, backend=backend)
+        if kind == "profiles":
+            return batched_local_mixing_profiles(
+                g, BETA, t_max=40, backend=backend
+            )
+        return batched_local_mixing_spectra(g, t_max=40, backend=backend)
+
+    with observability(False):
+        base = solve()
+    with observability(True):
+        instrumented = solve()
+    if kind == "profiles":  # profiles are a dense ndarray
+        assert np.array_equal(instrumented, base)
+    else:
+        assert instrumented == base
+
+
+# --------------------------------------------------------------------- #
+# Cross-process span aggregation
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+@pytest.mark.parametrize("w", [1, 2, 4])
+def test_worker_spans_aggregate_into_parent_trace(w, start_method):
+    g = random_regular(30, 4, seed=5)
+    serial = batched_local_mixing_times(g, BETA)
+    profiler = kernel_profiler()
+    with ShardExecutor(w, start_method=start_method) as ex:
+        before = profiler.snapshot()
+        with observability(True):
+            with trace("parent") as parent:
+                par = parallel_local_mixing_times(g, BETA, executor=ex)
+    assert par == serial
+    shard_spans = [c for c in parent.children if c.name == "shard_solve"]
+    assert len(shard_spans) == w
+    assert sum(s.meta["sources"] for s in shard_spans) == g.n
+    for s in shard_spans:
+        assert s.meta["kind"] == "times" and s.meta["pid"] > 0
+        assert s.duration is not None
+        # The worker's own engine span ships back nested in place.
+        assert s.find("engine_solve") is not None
+    # Worker kernel profiles merged into the parent's profiler.
+    delta = diff_kernel_snapshots(before, profiler.snapshot())
+    assert any(
+        k.endswith("/step_block") for k in delta["kernels"]
+    ), delta
+
+
+def test_sharded_results_identical_when_disabled():
+    """The collect flag is off with observability off, and the executor
+    still returns serial-identical results through the 3-tuple channel."""
+    g = random_regular(30, 4, seed=5)
+    serial = batched_local_mixing_times(g, BETA)
+    with ShardExecutor(2) as ex:
+        par = parallel_local_mixing_times(g, BETA, executor=ex)
+    assert par == serial
+    assert recent_traces() == []
+
+
+# --------------------------------------------------------------------- #
+# Service-level composition
+# --------------------------------------------------------------------- #
+
+
+def test_service_metrics_render_covers_every_tier():
+    g = random_regular(30, 4, seed=5)
+    direct = batched_local_mixing_times(g, BETA)
+
+    async def main():
+        async with MixingService(window=0.005, n_workers=2) as svc:
+            first = await svc.submit_many(
+                [MixingQuery(g, s, beta=BETA) for s in range(6)]
+            )
+            again = await svc.submit(MixingQuery(g, 0, beta=BETA))
+            return first, again, svc.metrics.render(), svc.stats()
+
+    with observability(True):
+        results, again, rendered, stats = asyncio.run(main())
+    assert results == [direct[s] for s in range(6)]
+    assert again == direct[0]
+    _assert_prometheus_parseable(rendered)
+    for name in (
+        "repro_cache_hits_total",
+        "repro_cache_misses_total",
+        "repro_coalescer_batches_total",
+        "repro_registry_resolves_total",
+        "repro_executor_tasks_dispatched_total",
+        "repro_kernel_calls_total",
+        "repro_engine_solve_seconds",
+    ):
+        assert name in rendered, f"missing {name} in render()"
+    assert stats["cache"]["hits"] == 1
+    # Every query produced a root trace with its pipeline children.
+    queries = [s for s in recent_traces() if s.name == "query"]
+    assert len(queries) == 7
+    solved = [q for q in queries if q.meta.get("outcome") == "solved"]
+    assert solved and all(
+        q.find("coalesced_batch") is not None for q in solved
+    )
+    assert all(q.find("cache_lookup") is not None for q in queries[:6])
+
+
+def test_bench_reporter_sections_always_record():
+    rep = BenchReporter("unit")
+    with rep.section("outer"):
+        with rep.section("inner"):
+            pass
+    assert set(rep.timings) == {"outer", "inner"}
+    assert rep.seconds("outer") >= rep.seconds("inner") >= 0
+    snap = rep.snapshot()
+    assert snap["bench"] == "unit"
+    assert set(snap["sections"]) == {"outer", "inner"}
+    assert "repro_bench_section_seconds" in snap["metrics"]
+    with pytest.raises(KeyError):
+        rep.seconds("never_ran")

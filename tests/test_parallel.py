@@ -329,6 +329,45 @@ def test_executor_stats_track_utilization(reg):
         assert sum(ex.stats()["per_worker_solves"].values()) == 4
 
 
+def test_executor_stats_cumulative_per_worker_and_reset(reg):
+    """Regression: ``per_worker_solves`` attributes *every* call since
+    construction (it once looked last-call-only when read naively), and
+    the documented ``reset()`` re-zeroes the utilization counters without
+    touching configuration — so benchmarks attribute a timed run with
+    ``reset()`` instead of warm-up diff arithmetic."""
+    with ShardExecutor(2) as ex:
+        serial = batched_local_mixing_times(reg, BETA, sources=range(8))
+        for call in (1, 2, 3):
+            par = parallel_local_mixing_times(
+                reg, BETA, sources=range(8), executor=ex
+            )
+            assert par == serial
+            st = ex.stats()
+            assert st["calls"] == call
+            assert st["tasks_dispatched"] == 2 * call
+            assert st["items_processed"] == 8 * call
+            # Cumulative across calls, not just the last partition.
+            assert sum(st["per_worker_solves"].values()) == 2 * call
+        ex.reset()
+        st = ex.stats()
+        assert st["calls"] == 0
+        assert st["tasks_dispatched"] == 0
+        assert st["items_processed"] == 0
+        assert st["per_worker_solves"] == {}
+        assert st["last_shard_sizes"] == []
+        # Configuration survives a counter reset.
+        assert st["n_workers"] == 2
+        assert st["published_graphs"] == 1
+        # Counting resumes from zero on the same warm pool.
+        par = parallel_local_mixing_times(
+            reg, BETA, sources=range(8), executor=ex
+        )
+        assert par == serial
+        st = ex.stats()
+        assert st["calls"] == 1
+        assert sum(st["per_worker_solves"].values()) == 2
+
+
 def _stats_probe(x):
     return x * x
 

@@ -39,6 +39,7 @@ DOCSTRING_PACKAGES = [
     "repro.engine",
     "repro.engine.backends",
     "repro.dynamic",
+    "repro.obs",
     "repro.parallel",
     "repro.service",
 ]
