@@ -1,0 +1,242 @@
+"""W2 — the wire front door under load: a socket-level generator driving
+the HTTP/WebSocket server with concurrent client herds.
+
+Claims (wire subsystem):
+
+1. **Wire identity** — every answer decoded off the socket, at every
+   concurrency level, dispatch mode and churn phase, is identical — same
+   τ, set sizes, bitwise-equal deviations, same counters — to the direct
+   :func:`batched_local_mixing_times` result for that source (asserted
+   unconditionally, quick mode included);
+2. **Coalescing survives the wire** — C concurrent *socket* clients
+   micro-batched by the server complete faster than the same C clients
+   against a per-query server (``max_batch=1``): the transport does not
+   break the batching economics (reported; asserted ≥ 1 in full mode on
+   multi-core hosts only — socket overhead, unlike in-process dispatch,
+   is paid by both modes);
+3. **Herd absorption** — a hot-key herd (every client asking for the
+   same few sources) collapses into in-flight dedup + cache hits: engine
+   calls stay near the number of *distinct* sources, not the number of
+   queries;
+4. **Exact accounting under churn** — with a registered
+   :class:`~repro.dynamic.DynamicGraph` mutating between query waves on
+   live connections, each wave's answers match the direct call on that
+   wave's snapshot, and the wire counters close exactly
+   (``requests = admitted + rejected``,
+   ``admitted = answered + expired + errored``) over the whole run.
+
+Full mode drives thousands of client sessions (bounded to a few hundred
+concurrent sockets so the fd budget survives); quick mode shrinks every
+axis but asserts the same identities.
+"""
+
+import asyncio
+import os
+
+from repro.dynamic import DynamicGraph
+from repro.engine import batched_local_mixing_times
+from repro.graphs import random_regular
+from repro.obs import BenchReporter
+from repro.service import GraphRegistry, MixingQuery, MixingService
+from repro.service.wire import WireClient, WireServer
+from repro.utils import format_table
+
+BETA = 4.0
+MAX_SOCKETS = 256  # concurrent-connection bound (fd budget)
+
+
+def wire_query(source):
+    return MixingQuery("g", source, beta=BETA)
+
+
+async def run_clients(server, source_lists):
+    """One WebSocket client session per source list (len(source_lists)
+    clients), at most MAX_SOCKETS connected at once; returns the answers
+    in client order."""
+    gate = asyncio.Semaphore(MAX_SOCKETS)
+
+    async def one(sources):
+        async with gate:
+            async with WireClient(server.host, server.port) as client:
+                return await asyncio.gather(
+                    *(client.submit(wire_query(s)) for s in sources)
+                )
+
+    return await asyncio.gather(*(one(s) for s in source_lists))
+
+
+def serve_wire(g, source_lists, *, max_batch, window, reporter, label):
+    """Answer every client's queries through a fresh wire stack; returns
+    (per-client results, seconds, server stats, service stats)."""
+
+    async def main():
+        reg = GraphRegistry()
+        reg.register("g", g)
+        async with MixingService(
+            registry=reg, cache_size=0, window=window, max_batch=max_batch
+        ) as svc:
+            async with WireServer(
+                svc, max_pending=len(source_lists) * 4 + 8
+            ) as server:
+                # Untimed warm-up: thread pool, listener, first solve.
+                await run_clients(server, [[0]])
+                with reporter.section(label):
+                    results = await run_clients(server, source_lists)
+                return results, server.stats(), svc.stats()
+
+    results, wire_stats, svc_stats = asyncio.run(main())
+    return results, reporter.seconds(label), wire_stats, svc_stats
+
+
+def check_accounting(stats):
+    assert stats["requests"] == stats["admitted"] + stats["rejected"]
+    assert stats["admitted"] == (
+        stats["answered"] + stats["expired"] + stats["errored"]
+    )
+    assert stats["expired"] == 0 and stats["errored"] == 0
+
+
+def test_w2_wire_serving(record_table, quick_mode):
+    n, d = (60, 4) if quick_mode else (200, 6)
+    g = random_regular(n, d, seed=1)
+    rep = BenchReporter("w2_wire_serving")
+    with rep.section("direct"):
+        direct = batched_local_mixing_times(g, BETA)
+
+    if hasattr(os, "sched_getaffinity"):
+        cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - macOS/Windows
+        cores = os.cpu_count() or 1
+
+    rows = []
+
+    # ---- coalesced vs per-query over real sockets ---------------------- #
+    herd = 16 if quick_mode else 64
+    sources = [[s % g.n] for s in range(herd)]
+    expect = [[direct[s[0]]] for s in sources]
+    per_query, t_pq, pq_stats, _ = serve_wire(
+        g, sources, max_batch=1, window=0.0,
+        reporter=rep, label=f"per_query:C={herd}",
+    )
+    assert per_query == expect, "wire per-query dispatch diverged"
+    check_accounting(pq_stats)
+    coalesced, t_co, co_stats, co_svc = serve_wire(
+        g, sources, max_batch=herd, window=0.005,
+        reporter=rep, label=f"coalesced:C={herd}",
+    )
+    assert coalesced == expect, "wire coalesced dispatch diverged"
+    check_accounting(co_stats)
+    speedup = t_pq / t_co
+    if not quick_mode and cores >= 2:
+        assert speedup >= 1.0, (
+            f"coalescing lost its advantage over the wire: {speedup:.2f}x"
+        )
+    rows.append(["coalesced-vs-per-query", herd, herd,
+                 co_svc["coalescer"]["batches"],
+                 f"{t_co:.3f}", f"{herd / t_co:.1f}", f"{speedup:.2f}x"])
+
+    # ---- hot-key herd: thousands of sessions, a handful of sources ----- #
+    n_sessions = 60 if quick_mode else 2000
+    hot = [0, 3, 7]
+    herd_lists = [[hot[i % len(hot)]] for i in range(n_sessions)]
+
+    async def herd_run():
+        reg = GraphRegistry()
+        reg.register("g", g)
+        async with MixingService(registry=reg, window=0.002) as svc:
+            async with WireServer(
+                svc, max_pending=n_sessions + 8
+            ) as server:
+                with rep.section(f"herd:S={n_sessions}"):
+                    results = await run_clients(server, herd_lists)
+                return results, server.stats(), svc.stats()
+
+    herd_results, herd_stats, herd_svc = asyncio.run(herd_run())
+    for sources_i, got in zip(herd_lists, herd_results):
+        assert got == [direct[sources_i[0]]], "herd answer diverged"
+    check_accounting(herd_stats)
+    assert herd_stats["answered"] == n_sessions
+    # Absorption: every query was either absorbed before the engine
+    # (cache hit, in-flight dedup) or entered a coalesced batch — and the
+    # engine solved ~|hot| times, not ~n_sessions times.
+    engine_calls = herd_svc["coalescer"]["batches"]
+    absorbed = (
+        herd_svc["cache"]["hits"]
+        + herd_svc["cache"]["inflight_hits"]
+    )
+    assert herd_svc["coalescer"]["queries"] + absorbed == n_sessions
+    assert engine_calls <= len(hot) * 4, (
+        f"herd was not absorbed: {engine_calls} engine batches for "
+        f"{n_sessions} sessions on {len(hot)} hot sources"
+    )
+    t_herd = rep.seconds(f"herd:S={n_sessions}")
+    rows.append([f"hot-key herd ({len(hot)} keys)", n_sessions, n_sessions,
+                 engine_calls, f"{t_herd:.3f}",
+                 f"{n_sessions / t_herd:.1f}", "-"])
+
+    # ---- graph churn mid-stream ---------------------------------------- #
+    waves = 3 if quick_mode else 6
+    clients_per_wave = 8 if quick_mode else 32
+    dg = DynamicGraph(random_regular(n, d, seed=5))
+
+    async def churn_run():
+        reg = GraphRegistry()
+        reg.register("g", dg)
+        totals = 0
+        async with MixingService(registry=reg, window=0.002) as svc:
+            async with WireServer(
+                svc, max_pending=clients_per_wave * 2 + 8
+            ) as server:
+                with rep.section("churn"):
+                    for wave in range(waves):
+                        snap = dg.snapshot()
+                        wave_sources = [
+                            [(wave * clients_per_wave + i) % dg.n]
+                            for i in range(clients_per_wave)
+                        ]
+                        got = await run_clients(server, wave_sources)
+                        expect_wave = batched_local_mixing_times(
+                            snap, BETA,
+                            sources=[s[0] for s in wave_sources],
+                        )
+                        assert [r[0] for r in got] == expect_wave, (
+                            f"wave {wave} diverged from its snapshot"
+                        )
+                        totals += clients_per_wave
+                        # Mutate the registered graph under the open
+                        # server: rewire one edge per wave.
+                        u, v = next(iter(dg.edges()))
+                        w = next(
+                            w for w in range(dg.n)
+                            if w != u and not dg.has_edge(u, w)
+                        )
+                        dg.rewire(u, v, w)
+                return totals, server.stats()
+
+    total_churn, churn_stats = asyncio.run(churn_run())
+    check_accounting(churn_stats)
+    assert churn_stats["answered"] == total_churn
+    t_churn = rep.seconds("churn")
+    rows.append([f"graph churn ({waves} waves)",
+                 waves * clients_per_wave, total_churn, "-",
+                 f"{t_churn:.3f}", f"{total_churn / t_churn:.1f}", "-"])
+
+    table = format_table(
+        [
+            "phase",
+            "sessions",
+            "queries",
+            "engine calls",
+            "seconds",
+            "q/s",
+            "speedup",
+        ],
+        rows,
+        title=(
+            f"W2: wire serving under load — WebSocket clients against the "
+            f"HTTP/WS front door, tau(beta={BETA}) per query on a {n}-node "
+            f"{d}-regular graph (bitwise identity vs the direct engine "
+            f"asserted in every phase; host cores: {cores})"
+        ),
+    )
+    record_table("w2_wire_serving", table, metrics=rep.snapshot())

@@ -28,7 +28,16 @@ of exactness:
   forward to the new snapshot (the tracker's locality-pruning argument).
 * :class:`~repro.service.service.MixingService` — the front door:
   ``await submit(query)`` / ``submit_many``, async context manager,
-  graceful drain on shutdown.
+  graceful drain on shutdown; queries may carry per-query deadlines
+  (answered in time or failed with a typed
+  :class:`~repro.service.errors.DeadlineExceededError`) and priorities.
+* :mod:`repro.service.wire` — the *network* front door: an asyncio
+  HTTP + WebSocket server (:class:`~repro.service.wire.WireServer`)
+  speaking a versioned JSON protocol over the full query knob space,
+  with bounded admission (429 backpressure instead of unbounded
+  buffering), deadline-aware coalescer flushes, a ``GET /metrics``
+  Prometheus endpoint, and a matching asyncio client
+  (:class:`~repro.service.wire.WireClient`).
 
 **Serving answers are bitwise identical to direct engine calls** under any
 coalescing batch composition, cache state, and client concurrency — the
@@ -38,15 +47,25 @@ same equivalence discipline as every other layer (tests:
 
 from repro.service.cache import ResultCache
 from repro.service.coalescer import QueryCoalescer
+from repro.service.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceClosedError,
+    ServingError,
+)
 from repro.service.query import ExecutionKey, MixingQuery
 from repro.service.registry import GraphRegistry
 from repro.service.service import MixingService
 
 __all__ = [
+    "DeadlineExceededError",
     "ExecutionKey",
     "MixingQuery",
+    "OverloadedError",
     "QueryCoalescer",
     "ResultCache",
     "GraphRegistry",
     "MixingService",
+    "ServiceClosedError",
+    "ServingError",
 ]

@@ -12,9 +12,19 @@ by ``(graph, ExecutionKey)``, and flushes a group as one
 
 * the **window** elapses (``window`` seconds after the group's first
   query arrived), or
+* the group's **earliest deadline** would otherwise be missed — a query
+  admitted with a deadline re-arms the group's flush timer to
+  ``deadline − window`` when that is earlier than the window expiry, so
+  the solve gets dispatched with at least one window of head start
+  instead of waiting out a window the deadline cannot afford (the
+  deadline-aware flush replaces the fixed window whenever it is the
+  tighter bound), or
 * the group reaches **max_batch** distinct sources (flushed immediately —
   a full block is ready), or
-* the service drains on shutdown (:meth:`QueryCoalescer.drain`).
+* the service drains on shutdown (:meth:`QueryCoalescer.drain`) —
+  pending groups are then flushed in descending **priority** order (the
+  maximum priority of each group's queries), so urgent work is
+  dispatched first when everything must go at once.
 
 Correctness is inherited, not negotiated: the engine's loop-equivalence
 guarantee makes every per-source result of a batched call identical to
@@ -52,16 +62,35 @@ __all__ = ["QueryCoalescer"]
 
 class _Group:
     """One pending micro-batch: distinct sources (insertion-ordered, each
-    with its waiters) plus the representative engine kwargs and the armed
-    flush timer."""
+    with its waiters) plus the representative engine kwargs, the armed
+    flush timer, the earliest member deadline and the maximum member
+    priority."""
 
-    __slots__ = ("graph", "kwargs", "pending", "timer")
+    __slots__ = (
+        "graph",
+        "kwargs",
+        "pending",
+        "timer",
+        "window_end",
+        "deadline",
+        "priority",
+        "flush_at",
+    )
 
-    def __init__(self, graph: Graph, kwargs: dict):
+    def __init__(self, graph: Graph, kwargs: dict, window_end: float):
         self.graph = graph
         self.kwargs = kwargs
         self.pending: dict[int, list[asyncio.Future]] = {}
         self.timer: asyncio.TimerHandle | None = None
+        #: When the plain coalescing window expires (absolute loop time).
+        self.window_end = window_end
+        #: Earliest deadline among the group's queries (absolute loop
+        #: time), or ``None`` while no member carries one.
+        self.deadline: float | None = None
+        #: Maximum priority among the group's queries.
+        self.priority = 0
+        #: Where the armed timer currently points (absolute loop time).
+        self.flush_at: float | None = None
 
 
 class QueryCoalescer:
@@ -79,7 +108,9 @@ class QueryCoalescer:
     window:
         Seconds a group's first query waits for company before the group
         is flushed (``0`` still coalesces bursts submitted in the same
-        event-loop turn: the flush runs as a zero-delay callback).
+        event-loop turn: the flush runs as a zero-delay callback).  A
+        member deadline tighter than the window re-arms the flush to
+        ``deadline − window`` (see :meth:`enqueue`).
     max_batch:
         Distinct-source bound per group; reaching it flushes immediately.
     registry:
@@ -120,7 +151,12 @@ class QueryCoalescer:
                 f"Groups flushed by the {reason.removesuffix('_flushes')} "
                 "trigger.",
             )
-            for reason in ("window_flushes", "size_flushes", "drain_flushes")
+            for reason in (
+                "window_flushes",
+                "size_flushes",
+                "drain_flushes",
+                "deadline_flushes",
+            )
         }
         self._largest_batch = self.metrics.gauge(
             "repro_coalescer_largest_batch",
@@ -132,30 +168,65 @@ class QueryCoalescer:
     # ------------------------------------------------------------------ #
 
     def enqueue(
-        self, graph: Graph, exec_key, source: int, kwargs: dict
+        self,
+        graph: Graph,
+        exec_key,
+        source: int,
+        kwargs: dict,
+        *,
+        deadline: float | None = None,
+        priority: int = 0,
     ) -> "asyncio.Future":
         """Admit one query and return the future its result will land on.
 
         Must be called on the event loop.  The first query of a new
-        ``(graph, exec_key)`` group arms the window timer; the
-        ``max_batch``-th distinct source flushes the group synchronously
-        (the solve itself still runs as a background task).
+        ``(graph, exec_key)`` group arms the flush timer; each admitted
+        query may tighten it — ``deadline`` is an *absolute*
+        ``loop.time()`` bound, and when ``deadline − window`` is earlier
+        than the pending window expiry the timer is re-armed to it (the
+        deadline-aware flush).  ``priority`` raises the group's drain
+        priority (see :meth:`flush_all`).  The ``max_batch``-th distinct
+        source flushes the group synchronously (the solve itself still
+        runs as a background task).
         """
         loop = asyncio.get_running_loop()
         key = (graph, exec_key)
         group = self._groups.get(key)
         if group is None:
-            group = _Group(graph, dict(kwargs))
+            group = _Group(graph, dict(kwargs), loop.time() + self.window)
             self._groups[key] = group
-            group.timer = loop.call_later(
-                self.window, self._flush, key, "window_flushes"
-            )
         fut: asyncio.Future = loop.create_future()
         group.pending.setdefault(int(source), []).append(fut)
+        if priority > group.priority:
+            group.priority = int(priority)
+        if deadline is not None and (
+            group.deadline is None or deadline < group.deadline
+        ):
+            group.deadline = float(deadline)
         self._queries.inc()
         if len(group.pending) >= self.max_batch:
             self._flush(key, "size_flushes")
+        else:
+            self._rearm(loop, key, group)
         return fut
+
+    def _rearm(self, loop, key: tuple, group: _Group) -> None:
+        """Point the group's timer at its current flush target: the window
+        expiry, or — when tighter — one window ahead of the group's
+        earliest deadline (clamped to *now*, so an already-urgent deadline
+        flushes on the next loop turn)."""
+        when, reason = group.window_end, "window_flushes"
+        if group.deadline is not None:
+            head_start = group.deadline - self.window
+            if head_start < when:
+                when, reason = head_start, "deadline_flushes"
+        when = max(when, loop.time())
+        if group.timer is not None:
+            if group.flush_at is not None and when >= group.flush_at:
+                return  # the armed timer is already at least as tight
+            group.timer.cancel()
+        group.flush_at = when
+        group.timer = loop.call_at(when, self._flush, key, reason)
 
     def _flush(self, key: tuple, reason: str) -> None:
         """Detach the group (if still pending) and start its batch solve."""
@@ -211,9 +282,14 @@ class QueryCoalescer:
     # ------------------------------------------------------------------ #
 
     def flush_all(self) -> None:
-        """Flush every pending group now (drain trigger); running batches
+        """Flush every pending group now (drain trigger), highest group
+        priority first — when everything must go at once, urgent batches
+        hit the solver queue ahead of background ones.  Running batches
         are unaffected."""
-        for key in list(self._groups):
+        by_priority = sorted(
+            self._groups.items(), key=lambda kv: -kv[1].priority
+        )
+        for key, _ in by_priority:
             self._flush(key, "drain_flushes")
 
     async def drain(self) -> None:

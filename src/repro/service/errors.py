@@ -1,0 +1,67 @@
+"""Typed serving errors — the vocabulary of a query that was *not* answered.
+
+The serving stack's contract is that every admitted query is resolved:
+with its exact result when possible, and otherwise with one of these
+typed errors — never a silent drop, never an untyped failure a client
+cannot dispatch on.  The wire layer (:mod:`repro.service.wire`) maps each
+type onto a stable protocol error code and HTTP status, so in-process
+callers (``await service.submit(...)``) and remote clients see the same
+taxonomy.
+
+All types derive from :class:`ServingError` (itself a
+:class:`~repro.errors.ReproError`), so ``except ReproError`` still
+catches everything the library raises.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ServingError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "ServiceClosedError",
+]
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer failures (admission, deadlines,
+    lifecycle) — distinct from engine errors, which describe the
+    computation itself and pass through the service untouched."""
+
+
+class DeadlineExceededError(ServingError):
+    """The query's deadline passed before its answer was ready.
+
+    Raised by :meth:`~repro.service.MixingService.submit` when a query
+    carried a ``deadline`` and the solve (or the coalescing wait) did not
+    finish in time.  The underlying batch keeps running for the benefit
+    of its other waiters and of the result cache — only *this* waiter is
+    released with the timeout.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None):
+        super().__init__(message)
+        #: The query's relative deadline in seconds, when known.
+        self.deadline = deadline
+
+
+class OverloadedError(ServingError):
+    """Admission refused: the server's pending-query bound is full.
+
+    This is *backpressure*, not failure — the request was never admitted
+    (it consumed no engine work) and the client should back off and
+    retry.  The wire layer answers it with HTTP 429.
+    """
+
+
+class ServiceClosedError(ServingError, RuntimeError):
+    """The service (or wire server) is draining or closed and admits no
+    new queries; in-flight work is still answered.  HTTP 503 on the
+    wire.
+
+    Also a :class:`RuntimeError`: submitting to a closed service has
+    always raised ``RuntimeError``, and callers written against that
+    contract keep working.
+    """

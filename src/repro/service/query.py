@@ -103,6 +103,19 @@ class MixingQuery:
     #: neutral by the loop-equivalence contract, so it never enters the
     #: result-cache key — only the coalescing group.
     backend: str | None = None
+    #: Relative deadline in seconds from submission (``None`` — wait
+    #: forever).  A deadline never changes *what* is computed — it is
+    #: excluded from both the cache key and the coalescing group — only
+    #: whether this waiter is still listening when the answer lands: the
+    #: coalescer flushes early so the group's earliest deadline can be
+    #: met, and a waiter whose deadline passes first gets a typed
+    #: :class:`~repro.service.errors.DeadlineExceededError` while the
+    #: solve continues for its co-waiters and the cache.
+    deadline: float | None = None
+    #: Scheduling priority (higher drains first on shutdown / bulk
+    #: flushes).  Like ``deadline``, never part of result or cache
+    #: identity.
+    priority: int = 0
 
     def engine_kwargs(self) -> dict:
         """The knob dictionary a batched/parallel driver call takes

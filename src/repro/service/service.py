@@ -53,6 +53,7 @@ from repro.graphs.base import Graph
 from repro.obs import MetricsRegistry, attach_or_record, default_registry, trace
 from repro.service.cache import ResultCache
 from repro.service.coalescer import QueryCoalescer
+from repro.service.errors import DeadlineExceededError, ServiceClosedError
 from repro.service.query import ExecutionKey, MixingQuery
 from repro.service.registry import GraphRegistry
 
@@ -128,6 +129,10 @@ class MixingService:
         self._executor_lock = threading.Lock()
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._closed = False
+        self._expired = self._metrics.counter(
+            "repro_service_deadline_expired_total",
+            "Queries answered with DeadlineExceededError.",
+        )
         self.registry.add_listener(self._on_graph_change)
 
     # ------------------------------------------------------------------ #
@@ -139,9 +144,32 @@ class MixingService:
         :class:`~repro.walks.local_mixing.LocalMixingResult` bitwise equal
         to the direct engine call for the query's graph, source and
         knobs).  Invalid knobs or sources raise the engine's own fail-fast
-        errors before any work is scheduled."""
+        errors before any work is scheduled.
+
+        A query carrying a ``deadline`` (relative seconds) is answered
+        within it or fails with a typed
+        :class:`~repro.service.errors.DeadlineExceededError`: the deadline
+        is threaded into the coalescer, which flushes the query's group
+        early enough to give the solve a head start, and if the answer
+        still is not ready in time only *this* waiter is released — the
+        shared solve keeps running for its co-waiters and the result
+        cache.  Deadlines and ``priority`` never change what is computed
+        (they are absent from both the cache key and the coalescing
+        group)."""
         if self._closed:
-            raise RuntimeError("MixingService is closed")
+            raise ServiceClosedError("MixingService is closed")
+        deadline_at = None
+        if query.deadline is not None:
+            if query.deadline <= 0:
+                self._expired.inc()
+                raise DeadlineExceededError(
+                    f"deadline {query.deadline!r} already expired at "
+                    "submission",
+                    deadline=query.deadline,
+                )
+            deadline_at = (
+                asyncio.get_running_loop().time() + float(query.deadline)
+            )
         with trace("query", source=int(query.source)) as qspan:
             g = self.registry.resolve(query.graph)
             source = int(query.source)
@@ -159,7 +187,9 @@ class MixingService:
                 self._cache.count_inflight_hit()
                 if qspan is not None:
                     qspan.meta["outcome"] = "inflight_dedup"
-                result = await asyncio.shield(inflight)
+                result = await self._await_answer(
+                    inflight, deadline_at, query.deadline
+                )
                 self._adopt_batch_span(inflight)
                 return result
             with trace("cache_lookup") as cspan:
@@ -182,7 +212,12 @@ class MixingService:
                 backend=get_backend(query.backend).name,
             )
             fut = self._coalescer.enqueue(
-                g, exec_key, source, query.engine_kwargs()
+                g,
+                exec_key,
+                source,
+                query.engine_kwargs(),
+                deadline=deadline_at,
+                priority=query.priority,
             )
             self._inflight[cache_key] = fut
             fut.add_done_callback(
@@ -190,12 +225,39 @@ class MixingService:
             )
             if qspan is not None:
                 qspan.meta["outcome"] = "solved"
-            # shield(): one client cancelling its await must not cancel
-            # the shared future other waiters (and the cache insert) hang
-            # off.
-            result = await asyncio.shield(fut)
+            result = await self._await_answer(
+                fut, deadline_at, query.deadline
+            )
             self._adopt_batch_span(fut)
             return result
+
+    async def _await_answer(
+        self,
+        fut: asyncio.Future,
+        deadline_at: float | None,
+        deadline: float | None,
+    ):
+        """Await a (possibly shared) solve future on behalf of one waiter.
+
+        ``shield()``: one client cancelling its await — or timing out —
+        must not cancel the shared future other waiters (and the cache
+        insert) hang off.  With a deadline, waits at most until
+        ``deadline_at`` (absolute loop time) and then raises the typed
+        timeout; the underlying solve is deliberately left running."""
+        if deadline_at is None:
+            return await asyncio.shield(fut)
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(fut), timeout=deadline_at - loop.time()
+            )
+        except asyncio.TimeoutError:
+            self._expired.inc()
+            raise DeadlineExceededError(
+                f"query deadline of {deadline}s expired before the "
+                "answer was ready",
+                deadline=deadline,
+            ) from None
 
     async def submit_many(self, queries) -> list:
         """Answer many queries concurrently (results in query order) —
@@ -303,6 +365,7 @@ class MixingService:
             "cache": self._cache.stats(),
             "coalescer": self._coalescer.stats(),
             "registry": self.registry.stats(),
+            "service": {"deadline_expired": self._expired.value},
         }
         if self._executor is not None:
             out["executor"] = self._executor.stats()

@@ -1,0 +1,38 @@
+"""The network front door for :class:`~repro.service.MixingService`.
+
+This package puts the serving stack on a socket without adding a single
+dependency: HTTP/1.1 and RFC 6455 WebSocket framing are implemented on
+raw asyncio streams (:mod:`repro.service.wire.http`), a versioned JSON
+protocol carries the full :class:`~repro.service.MixingQuery` knob space
+(:mod:`repro.service.wire.protocol`), and
+:class:`~repro.service.wire.server.WireServer` fronts the service with
+bounded admission, per-query deadlines threaded into the coalescer's
+flush timer, a verbatim Prometheus ``GET /metrics`` endpoint, and
+graceful drain.  :mod:`repro.service.wire.client` is the matching client
+(one-shot HTTP and a multiplexing WebSocket session).
+
+The contract is the library-wide one: **the wire changes transport,
+never answers** — a result decoded off the socket is bitwise identical,
+floats included, to the in-process ``await service.submit(query)``
+return, and every admitted query is answered or cleanly errored even
+through drain (``tests/test_wire_protocol.py``,
+``tests/test_wire_faults.py``, ``tests/test_wire_serving.py``).
+"""
+
+from repro.service.wire.client import WireClient, http_get, http_query
+from repro.service.wire.protocol import (
+    ERROR_STATUS,
+    PROTOCOL_VERSION,
+    WireError,
+)
+from repro.service.wire.server import WireServer
+
+__all__ = [
+    "ERROR_STATUS",
+    "PROTOCOL_VERSION",
+    "WireClient",
+    "WireError",
+    "WireServer",
+    "http_get",
+    "http_query",
+]

@@ -1,0 +1,484 @@
+"""The network front door: an asyncio HTTP + WebSocket wire server over
+:class:`~repro.service.MixingService`.
+
+Routes
+------
+
+* ``POST /v1/query`` — one protocol request
+  (:mod:`repro.service.wire.protocol`) per HTTP request; the response
+  status mirrors the typed error taxonomy (200 / 400 / 404 / 422 / 429 /
+  503 / 504).
+* ``GET /v1/ws`` — WebSocket upgrade; each text frame is one protocol
+  request, answered by a text frame carrying the same ``id`` (answers may
+  arrive out of request order — queries on one connection run
+  concurrently, which is what lets a single socket drive a coalesced
+  batch).
+* ``GET /metrics`` — ``service.metrics.render()`` served **verbatim**
+  (Prometheus text).  The wire layer's own counters are registered on a
+  registry the service's composes in, so one scrape covers wire +
+  cache + coalescer + registry + executor + kernel families.
+* ``GET /healthz`` — liveness JSON (status + queue depth + draining
+  flag).
+
+Admission and backpressure
+--------------------------
+
+Admission is a **bounded queue**: at most ``max_pending`` queries may be
+in flight past the front door.  A query arriving beyond the bound is
+*rejected immediately* with a typed ``overloaded`` error (HTTP 429) —
+explicit backpressure instead of unbounded buffering, so a client herd
+degrades into fast, visible rejections rather than silent latency
+collapse.  Rejected queries consume no engine work.  While draining,
+new queries are answered ``shutting_down`` (503) instead.
+
+Deadlines ride the query objects themselves
+(:attr:`~repro.service.MixingQuery.deadline`): the service threads them
+into the coalescer (deadline-aware flush) and answers late queries with
+``deadline_exceeded`` (504) — see :mod:`repro.service.coalescer`.
+
+Counter accounting is exact and closed:
+``requests = admitted + rejected`` and
+``admitted = answered + expired + errored`` — every query that enters
+ends in exactly one bucket (the soak test asserts both equalities under
+hundreds of concurrent clients).
+
+Lifecycle
+---------
+
+:meth:`WireServer.aclose` (or leaving the ``async with`` block) stops
+accepting connections, flips the draining flag (new queries on live
+connections are 503'd), waits for every in-flight query to be answered,
+closes WebSocket streams with a proper close frame, and — only then —
+returns.  The server does *not* own the service: composing
+``async with MixingService(...) as svc, WireServer(svc) as server:``
+drains the wire first and the coalescer second, so every admitted query
+is answered and owned executors shut down leak-free.
+
+**The wire changes transport, never answers**: a response body is the
+bitwise-identical result the in-process ``await service.submit(query)``
+returns, floats included (see :mod:`repro.service.wire.protocol`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.obs import MetricsRegistry, trace
+from repro.service.errors import OverloadedError, ServiceClosedError
+from repro.service.wire import http as _http
+from repro.service.wire import protocol
+from repro.service.wire.http import (
+    OP_CLOSE,
+    OP_TEXT,
+    HttpError,
+    Request,
+    render_response,
+    ws_accept_key,
+    ws_encode_frame,
+    ws_read_message,
+)
+
+__all__ = ["WireServer"]
+
+
+class WireServer:
+    """Serve a :class:`~repro.service.MixingService` over HTTP + WebSocket.
+
+    Parameters
+    ----------
+    service:
+        The service to front.  Not owned: the caller closes it (after
+        this server has drained).  The server registers its wire metrics
+        on the service's composed registry so ``GET /metrics`` covers
+        every tier.
+    host, port:
+        Bind address; ``port=0`` (the default) picks an ephemeral port,
+        exposed as :attr:`port` / :attr:`url` after :meth:`start`.
+    max_pending:
+        The admission bound: maximum queries in flight past the front
+        door before new arrivals are rejected with ``overloaded`` (429).
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 256,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self.max_pending = int(max_pending)
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._pending = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._query_tasks: set[asyncio.Task] = set()
+
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "repro_wire_requests_total",
+            "Wire queries received (admitted or rejected).",
+        )
+        self._admitted = self.metrics.counter(
+            "repro_wire_admitted_total",
+            "Wire queries admitted past the front door.",
+        )
+        self._rejected = self.metrics.counter(
+            "repro_wire_rejected_total",
+            "Wire queries rejected by admission (backpressure or drain).",
+        )
+        self._answered = self.metrics.counter(
+            "repro_wire_answered_total",
+            "Admitted wire queries answered with a result.",
+        )
+        self._expired = self.metrics.counter(
+            "repro_wire_expired_total",
+            "Admitted wire queries answered with deadline_exceeded.",
+        )
+        self._errored = self.metrics.counter(
+            "repro_wire_errors_total",
+            "Admitted wire queries answered with a typed error "
+            "(other than deadline_exceeded).",
+        )
+        self._queue_depth = self.metrics.gauge(
+            "repro_wire_queue_depth",
+            "Wire queries currently in flight past admission.",
+        )
+        self._latency = self.metrics.histogram(
+            "repro_wire_request_seconds",
+            "Wire request latency, admission to response encode.",
+        )
+        self._connections = self.metrics.gauge(
+            "repro_wire_connections", "Open wire connections."
+        )
+        self._disconnects = self.metrics.counter(
+            "repro_wire_client_disconnects_total",
+            "Connections dropped by the peer with queries in flight.",
+        )
+        # One scrape covers everything: /metrics serves the *service's*
+        # composed registry verbatim, and these counters ride along.
+        service.metrics.include(self.metrics)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "WireServer":
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_conn, self.host, self._requested_port
+            )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base ``http://host:port`` URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop accepting, 503 new queries, answer every
+        in-flight one, close WebSocket streams with a close frame, and
+        return once every connection task has finished.  Idempotent."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Every admitted query resolves (the service never drops work) —
+        # including ones that arrive on live connections *during* the
+        # drain (they are answered shutting_down, which is still an
+        # answer, so the set can briefly regrow).
+        while self._query_tasks:
+            await asyncio.gather(
+                *list(self._query_tasks), return_exceptions=True
+            )
+        # Only now — every answer written — unblock connections idling in
+        # a read: cancellation reaches the WS session's cleanup, which
+        # sends the close frame, and the handler's finally closes the
+        # socket.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        while self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
+
+    async def __aenter__(self) -> "WireServer":
+        """Start (if needed) and enter the serving context."""
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        """Drain and close on context exit."""
+        await self.aclose()
+
+    def stats(self) -> dict:
+        """Wire counters as one dict: requests / admitted / rejected /
+        answered / expired / errored, current queue depth and open
+        connections."""
+        return {
+            "requests": self._requests.value,
+            "admitted": self._admitted.value,
+            "rejected": self._rejected.value,
+            "answered": self._answered.value,
+            "expired": self._expired.value,
+            "errored": self._errored.value,
+            "queue_depth": self._pending,
+            "connections": self._connections.value,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Query handling (transport-independent)
+    # ------------------------------------------------------------------ #
+
+    async def _answer(self, payload: bytes, transport: str) -> tuple[dict, int]:
+        """Decode, admit and answer one protocol request; returns
+        ``(response_object, http_status)``.  Never raises — every failure
+        mode maps to a typed error envelope, and the counters account for
+        the query exactly once."""
+        self._requests.inc()
+        req_id = None
+        try:
+            obj = protocol.loads(payload)
+            req_id = obj.get("id") if isinstance(obj, dict) else None
+            if self._draining:
+                raise ServiceClosedError("server is draining")
+            if self._pending >= self.max_pending:
+                raise OverloadedError(
+                    f"{self._pending} queries in flight (bound "
+                    f"{self.max_pending}); retry with backoff"
+                )
+        except BaseException as exc:
+            self._rejected.inc()
+            code, message = protocol.error_code_for(exc)
+            return (
+                protocol.encode_error_response(req_id, code, message),
+                protocol.ERROR_STATUS[code],
+            )
+        # Past admission: exactly one of answered/expired/errored.
+        self._admitted.inc()
+        self._pending += 1
+        self._queue_depth.set(self._pending)
+        t0 = time.perf_counter()
+        try:
+            with trace("wire_request", transport=transport):
+                req_id, query = protocol.decode_request(obj)
+                result = await self.service.submit(query)
+            self._answered.inc()
+            return protocol.encode_response(req_id, result), 200
+        except BaseException as exc:
+            code, message = protocol.error_code_for(exc)
+            if code == "deadline_exceeded":
+                self._expired.inc()
+            else:
+                self._errored.inc()
+            return (
+                protocol.encode_error_response(req_id, code, message),
+                protocol.ERROR_STATUS[code],
+            )
+        finally:
+            self._pending -= 1
+            self._queue_depth.set(self._pending)
+            self._latency.observe(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_conn(self, reader, writer) -> None:
+        """One accepted TCP connection: HTTP keep-alive loop, possibly
+        upgraded to a WebSocket session."""
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._connections.inc()
+        try:
+            await self._http_loop(reader, writer)
+        except asyncio.CancelledError:
+            # Drain: aclose() cancels idle connections after the last
+            # answer is written.  Finish normally — a task left in the
+            # cancelled state makes asyncio's streams machinery log a
+            # spurious "Exception in callback" on teardown.
+            pass
+        except (
+            HttpError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            TimeoutError,
+        ):
+            pass  # peer misbehaved or went away; drop the connection
+        finally:
+            self._connections.inc(-1)
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _http_loop(self, reader, writer) -> None:
+        while True:
+            request = await _http.read_request(reader)
+            if request is None:
+                return
+            if self._is_ws_upgrade(request):
+                await self._ws_session(reader, writer, request)
+                return
+            keep_alive = (
+                request.header("connection").lower() != "close"
+                and not self._draining
+            )
+            status, body, ctype = await self._route(request)
+            writer.write(
+                render_response(
+                    status, body, content_type=ctype, keep_alive=keep_alive
+                )
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _route(self, request: Request) -> tuple[int, bytes, str]:
+        """Dispatch one plain-HTTP request → (status, body, content type)."""
+        method, path = request.method, request.path.split("?", 1)[0]
+        if path == "/metrics" and method == "GET":
+            # The service's composed Prometheus payload, verbatim.
+            return (
+                200,
+                self.service.metrics.render().encode("utf-8"),
+                "text/plain; version=0.0.4",
+            )
+        if path == "/healthz" and method == "GET":
+            body = protocol.dumps(
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "queue_depth": self._pending,
+                    "max_pending": self.max_pending,
+                }
+            )
+            return 200, body, "application/json"
+        if path == "/v1/query":
+            if method != "POST":
+                return (
+                    405,
+                    protocol.dumps(
+                        protocol.encode_error_response(
+                            None, "bad_request", "POST /v1/query"
+                        )
+                    ),
+                    "application/json",
+                )
+            response, status = await self._answer(request.body, "http")
+            return status, protocol.dumps(response), "application/json"
+        if path == "/v1/ws":
+            return (
+                426,
+                protocol.dumps(
+                    protocol.encode_error_response(
+                        None, "bad_request",
+                        "/v1/ws requires a WebSocket upgrade",
+                    )
+                ),
+                "application/json",
+            )
+        return (
+            404,
+            protocol.dumps(
+                protocol.encode_error_response(
+                    None, "not_found", f"no route {method} {path}"
+                )
+            ),
+            "application/json",
+        )
+
+    # ------------------------------------------------------------------ #
+    # WebSocket session
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _is_ws_upgrade(request: Request) -> bool:
+        return (
+            "upgrade" in request.header("connection").lower()
+            and request.header("upgrade").lower() == "websocket"
+            and request.path.split("?", 1)[0] == "/v1/ws"
+        )
+
+    async def _ws_session(self, reader, writer, request: Request) -> None:
+        """One upgraded WebSocket connection: every text frame is an
+        independent protocol request answered concurrently (a response
+        frame carries the request's ``id``); the session ends on a close
+        frame, peer EOF, or server drain."""
+        key = request.header("sec-websocket-key")
+        if not key:
+            writer.write(
+                render_response(400, b"missing Sec-WebSocket-Key",
+                                content_type="text/plain", keep_alive=False)
+            )
+            await writer.drain()
+            return
+        writer.write(
+            render_response(
+                101,
+                b"",
+                keep_alive=True,
+                extra_headers=(
+                    ("Upgrade", "websocket"),
+                    ("Connection", "Upgrade"),
+                    ("Sec-WebSocket-Accept", ws_accept_key(key)),
+                ),
+            )
+        )
+        await writer.drain()
+        send_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+
+        async def answer_one(payload: bytes) -> None:
+            response, _status = await self._answer(payload, "ws")
+            async with send_lock:
+                try:
+                    writer.write(
+                        ws_encode_frame(OP_TEXT, protocol.dumps(response))
+                    )
+                    await writer.drain()
+                except (ConnectionError, RuntimeError, OSError):
+                    # Peer gone mid-answer: the solve completed (and fed
+                    # the cache/co-waiters); delivery alone failed.
+                    self._disconnects.inc()
+
+        try:
+            while True:
+                opcode, payload = await ws_read_message(
+                    reader, writer, require_mask=True
+                )
+                if opcode == OP_CLOSE:
+                    break
+                task = asyncio.ensure_future(answer_one(payload))
+                inflight.add(task)
+                self._query_tasks.add(task)
+                task.add_done_callback(inflight.discard)
+                task.add_done_callback(self._query_tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            if inflight:
+                self._disconnects.inc()
+        finally:
+            # Answer everything already admitted before closing the frame
+            # stream — drain never abandons an in-flight query.
+            if inflight:
+                await asyncio.gather(*list(inflight), return_exceptions=True)
+            try:
+                async with send_lock:
+                    writer.write(ws_encode_frame(OP_CLOSE, b"\x03\xe8"))
+                    await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass

@@ -8,6 +8,13 @@ import pytest
 from repro.graphs import generators as gen
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak/stress tests (deselect with -m 'not slow')",
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,183 @@
+"""End-to-end wire serving tests: the /metrics endpoint contract and the
+concurrency soak.
+
+The soak (marked ``slow``) drives one server with C ∈ {8, 64, 256}
+concurrent WebSocket clients hammering a small hot-key pool — the
+worst-case mix of coalescing, in-flight dedup and cache hits — and then
+asserts the two serving invariants *exactly*: every one of the hundreds
+of answers is bitwise identical to the direct engine call, and the wire
+counters account for every request
+(``requests = admitted + rejected``,
+``admitted = answered + expired + errored``) with zero lost.
+
+The /metrics test reuses the Prometheus line-format checker from
+``tests/test_obs.py`` (same parsing helper, so the wire endpoint is held
+to the identical format bar as the in-process renderer) and proves the
+endpoint serves the service's composed registry *verbatim* — the scraped
+body differs from a local ``service.metrics.render()`` only in the
+connection gauge the scrape itself occupies.
+
+No pytest-asyncio in the image — each test drives its own event loop via
+``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import batched_local_mixing_times
+from repro.graphs import generators as gen
+from repro.service import GraphRegistry, MixingQuery, MixingService
+from repro.service.wire import WireClient, WireServer, http_get
+from test_obs import _assert_prometheus_parseable
+
+BETA = 4.0
+EPS = 0.25
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return gen.random_regular(24, 4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def expander_direct(expander):
+    return batched_local_mixing_times(expander, BETA, EPS)
+
+
+def wire_query(source, **overrides):
+    kw = dict(beta=BETA, eps=EPS)
+    kw.update(overrides)
+    return MixingQuery("g", source, **kw)
+
+
+def make_registry(graph):
+    reg = GraphRegistry()
+    reg.register("g", graph)
+    return reg
+
+
+# --------------------------------------------------------------------- #
+# GET /metrics
+# --------------------------------------------------------------------- #
+
+
+class TestMetricsEndpoint:
+    def test_metrics_parse_families_and_verbatim(
+        self, expander, expander_direct
+    ):
+        """After live traffic, /metrics must (a) be well-formed Prometheus
+        text by the same checker the in-process renderer passes, (b)
+        carry the wire families alongside every composed lower-layer
+        family, and (c) be the service registry's render verbatim."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.005) as svc:
+                async with WireServer(svc) as server:
+                    async with WireClient(
+                        server.host, server.port
+                    ) as client:
+                        results = await asyncio.gather(
+                            *(client.submit(wire_query(s))
+                              for s in range(8))
+                        )
+                    assert results == expander_direct[:8]
+                    status, body = await http_get(
+                        server.host, server.port, "/metrics"
+                    )
+                    local = svc.metrics.render()
+                    health_status, health = await http_get(
+                        server.host, server.port, "/healthz"
+                    )
+            return status, body.decode("utf-8"), local, health_status
+
+        status, text, local, health_status = asyncio.run(main())
+        assert status == 200 and health_status == 200
+        _assert_prometheus_parseable(text)
+        # Wire families present next to every composed layer's.
+        for family in (
+            "repro_wire_requests_total",
+            "repro_wire_admitted_total",
+            "repro_wire_rejected_total",
+            "repro_wire_answered_total",
+            "repro_wire_expired_total",
+            "repro_wire_errors_total",
+            "repro_wire_queue_depth",
+            "repro_wire_request_seconds_bucket",
+            "repro_cache_hits_total",
+            "repro_coalescer_batches_total",
+            "repro_registry_resolves_total",
+        ):
+            assert family in text, f"missing family {family}"
+        # Verbatim: the only sample allowed to differ from a local render
+        # is the connection gauge the scrape itself occupies.
+        def strip(payload):
+            return [
+                line for line in payload.splitlines()
+                if not line.startswith("repro_wire_connections ")
+            ]
+
+        assert strip(text) == strip(local)
+
+
+# --------------------------------------------------------------------- #
+# Concurrency soak
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+class TestConcurrencySoak:
+    @pytest.mark.parametrize("n_clients", [8, 64, 256])
+    def test_soak_bitwise_identity_and_exact_accounting(
+        self, n_clients, expander, expander_direct
+    ):
+        """C concurrent WebSocket clients, each firing a burst over a hot
+        source pool: all C×burst answers bitwise exact, and the wire
+        counters account for every single request."""
+        burst = 4
+        hot = [0, 1, 2, 5, 9]  # hot-key herd: heavy dedup + cache traffic
+
+        async def one_client(server, i):
+            async with WireClient(server.host, server.port) as client:
+                sources = [
+                    hot[(i + j) % len(hot)] if (i + j) % 2 else
+                    (i * burst + j) % expander.n
+                    for j in range(burst)
+                ]
+                results = await asyncio.gather(
+                    *(client.submit(wire_query(s)) for s in sources)
+                )
+                return sources, results
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.002) as svc:
+                async with WireServer(
+                    svc, max_pending=n_clients * burst
+                ) as server:
+                    per_client = await asyncio.gather(
+                        *(one_client(server, i) for i in range(n_clients))
+                    )
+                    stats = server.stats()
+            return per_client, stats
+
+        per_client, stats = asyncio.run(main())
+        checked = 0
+        for sources, results in per_client:
+            for s, r in zip(sources, results):
+                assert r == expander_direct[s], (s, r)
+                checked += 1
+        assert checked == n_clients * burst
+        # Exact accounting: nothing lost, nothing double-counted.
+        assert stats["requests"] == n_clients * burst
+        assert stats["requests"] == stats["admitted"] + stats["rejected"]
+        assert stats["admitted"] == (
+            stats["answered"] + stats["expired"] + stats["errored"]
+        )
+        assert stats["rejected"] == 0
+        assert stats["expired"] == 0
+        assert stats["errored"] == 0
+        assert stats["answered"] == n_clients * burst
+        assert stats["queue_depth"] == 0
+        assert stats["connections"] == 0

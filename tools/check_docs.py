@@ -42,6 +42,7 @@ DOCSTRING_PACKAGES = [
     "repro.obs",
     "repro.parallel",
     "repro.service",
+    "repro.service.wire",
 ]
 
 #: Minimum docstring length to count as documentation, not a placeholder.
