@@ -20,6 +20,14 @@ tracker, benchmarks):
 * :mod:`repro.obs.kernels` — per-backend per-kernel call counts and
   wall seconds on the :class:`~repro.engine.backends.KernelBackend`
   seam, plus the ``float32`` screening re-verification rate.
+* :mod:`repro.obs.flight` — the always-on bounded flight recorder of
+  completed query records (plus the slow-query log), fed by
+  ``MixingService.submit`` and exported over the wire debug endpoints.
+* :mod:`repro.obs.export` — the stable JSON schema flight records and
+  span trees are served in (``/v1/debug/flight`` / ``/v1/debug/slow`` /
+  ``/v1/debug/trace/<id>``).
+* :mod:`repro.obs.history` — append-only benchmark perf-trajectory
+  files and the regression comparator behind ``tools/bench_track.py``.
 * :mod:`repro.obs.reporting` — the shared benchmark reporter.
 
 The cost contract (see :mod:`repro.obs.config`): plain counters always
@@ -38,6 +46,28 @@ from .config import (
     observability_enabled,
     set_observability,
 )
+from .export import (
+    flight_payload,
+    record_to_dict,
+    slow_payload,
+    trace_payload,
+)
+from .flight import (
+    FlightRecorder,
+    QueryRecord,
+    graph_key,
+    kernels_from_span,
+    stages_from_span,
+)
+from .history import (
+    Finding,
+    append_entry,
+    check_history,
+    extract_entry,
+    load_history,
+    machine_fingerprint,
+)
+from .history import compare as compare_history_entry
 from .kernels import (
     KernelProfiler,
     ProfiledBackend,
@@ -69,25 +99,41 @@ __all__ = [
     "BenchReporter",
     "Counter",
     "CounterDict",
+    "Finding",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KernelProfiler",
     "MetricsRegistry",
     "OBS_ENV",
     "ProfiledBackend",
+    "QueryRecord",
     "Span",
+    "append_entry",
     "attach_or_record",
+    "check_history",
     "clear_traces",
+    "compare_history_entry",
     "current_span",
     "default_registry",
     "diff_kernel_snapshots",
+    "extract_entry",
+    "flight_payload",
+    "graph_key",
     "kernel_profiler",
+    "kernels_from_span",
+    "load_history",
+    "machine_fingerprint",
     "maybe_profile",
     "observability",
     "observability_enabled",
     "recent_traces",
+    "record_to_dict",
     "set_observability",
+    "slow_payload",
+    "stages_from_span",
     "start_span",
     "trace",
+    "trace_payload",
     "use_span",
 ]

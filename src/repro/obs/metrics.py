@@ -292,6 +292,7 @@ class Histogram(_Metric):
         self._counts = [0] * (len(buckets) + 1)  # trailing +Inf bucket
         self._sum = 0.0
         self._count = 0
+        self._exemplars: dict[int, str] = {}
 
     def _make_child(self, label_values):
         return Histogram(
@@ -302,16 +303,32 @@ class Histogram(_Metric):
             _label_values=label_values,
         )
 
-    def observe(self, value) -> None:
+    def observe(self, value, *, exemplar=None) -> None:
         """Record one observation (an exact bucket-boundary value counts
         into the bucket whose upper bound it equals — ``le`` is
-        inclusive)."""
+        inclusive).  ``exemplar`` optionally tags the bucket the value
+        lands in with a trace id: one exemplar per bucket, last
+        observation wins — so a histogram spike links directly to a
+        flight-recorder entry (see :meth:`exemplars`).  Exemplars live
+        only in the JSON :meth:`MetricsRegistry.snapshot` view; the
+        Prometheus text rendering is unchanged."""
         value = float(value)
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[idx] = str(exemplar)
+
+    def exemplars(self) -> dict[str, str]:
+        """The per-bucket exemplar trace ids, keyed by the bucket's upper
+        bound (``"+Inf"`` for the overflow bucket); only buckets that
+        ever received an exemplar appear.  Last observation per bucket
+        wins."""
+        bounds = [str(b) for b in self.buckets] + ["+Inf"]
+        with self._lock:
+            return {bounds[idx]: tid for idx, tid in self._exemplars.items()}
 
     @property
     def count(self) -> int:
@@ -337,6 +354,7 @@ class Histogram(_Metric):
         self._counts = [0] * (len(self.buckets) + 1)
         self._sum = 0.0
         self._count = 0
+        self._exemplars = {}
 
 
 class MetricsRegistry:
@@ -433,20 +451,22 @@ class MetricsRegistry:
                     else {}
                 )
                 if metric.kind == "histogram":
-                    entry["series"].append(
-                        {
-                            "labels": labels,
-                            "buckets": {
-                                str(le): c
-                                for le, c in zip(
-                                    list(leaf.buckets) + ["+Inf"],
-                                    leaf.cumulative_counts(),
-                                )
-                            },
-                            "sum": leaf.sum,
-                            "count": leaf.count,
-                        }
-                    )
+                    series = {
+                        "labels": labels,
+                        "buckets": {
+                            str(le): c
+                            for le, c in zip(
+                                list(leaf.buckets) + ["+Inf"],
+                                leaf.cumulative_counts(),
+                            )
+                        },
+                        "sum": leaf.sum,
+                        "count": leaf.count,
+                    }
+                    exemplars = leaf.exemplars()
+                    if exemplars:
+                        series["exemplars"] = exemplars
+                    entry["series"].append(series)
                 else:
                     entry["series"].append(
                         {"labels": labels, "value": leaf.value}

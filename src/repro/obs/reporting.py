@@ -43,6 +43,7 @@ class BenchReporter:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry.include(default_registry())
         self.timings: dict[str, float] = {}
+        self.identity: dict[str, object] = {}
         self._hist = self.registry.histogram(
             "repro_bench_section_seconds",
             "Wall seconds of benchmark timing sections.",
@@ -67,14 +68,25 @@ class BenchReporter:
         (``KeyError`` if the section never ran)."""
         return self.timings[label]
 
+    def record_identity(self, **fields) -> None:
+        """Record machine-independent *identity* facts of this run —
+        result digests, convergence counters, anything that must be
+        byte-for-byte reproducible across runs.  These land in the
+        snapshot's ``identity`` dict, which the perf-trajectory
+        comparator (:func:`repro.obs.history.compare`) gates **exactly**:
+        a changed identity field fails the check, no noise band applies.
+        Values must be JSON-serializable."""
+        self.identity.update(fields)
+
     def snapshot(self) -> dict:
         """JSON-ready artifact payload: the benchmark name, the section
-        timings, and the full metrics snapshot visible through this
-        reporter's registry (sections, kernel profile, engine/component
-        counters)."""
+        timings, the identity fields (:meth:`record_identity`), and the
+        full metrics snapshot visible through this reporter's registry
+        (sections, kernel profile, engine/component counters)."""
         return {
             "bench": self.name,
             "sections": dict(self.timings),
+            "identity": dict(self.identity),
             "metrics": self.registry.snapshot(),
         }
 

@@ -52,6 +52,7 @@ waiter future (``fut._obs_span``) so every query's own trace adopts it
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Callable
 
 from repro.graphs.base import Graph
@@ -75,6 +76,7 @@ class _Group:
         "deadline",
         "priority",
         "flush_at",
+        "trace_id",
     )
 
     def __init__(self, graph: Graph, kwargs: dict, window_end: float):
@@ -91,6 +93,10 @@ class _Group:
         self.priority = 0
         #: Where the armed timer currently points (absolute loop time).
         self.flush_at: float | None = None
+        #: Flight-recorder trace id of the group's most recent query
+        #: (last-wins) — the exemplar the batch latency histogram tags
+        #: its bucket with.
+        self.trace_id: str | None = None
 
 
 class QueryCoalescer:
@@ -162,6 +168,11 @@ class QueryCoalescer:
             "repro_coalescer_largest_batch",
             "Largest distinct-source batch flushed so far.",
         )
+        self._batch_seconds = self.metrics.histogram(
+            "repro_coalescer_batch_seconds",
+            "Wall seconds per flushed batch solve (exemplar: the trace "
+            "id of the batch's most recent member query).",
+        )
 
     # ------------------------------------------------------------------ #
     # Enqueue + flush machinery
@@ -176,6 +187,7 @@ class QueryCoalescer:
         *,
         deadline: float | None = None,
         priority: int = 0,
+        trace_id: str | None = None,
     ) -> "asyncio.Future":
         """Admit one query and return the future its result will land on.
 
@@ -185,9 +197,10 @@ class QueryCoalescer:
         ``loop.time()`` bound, and when ``deadline − window`` is earlier
         than the pending window expiry the timer is re-armed to it (the
         deadline-aware flush).  ``priority`` raises the group's drain
-        priority (see :meth:`flush_all`).  The ``max_batch``-th distinct
-        source flushes the group synchronously (the solve itself still
-        runs as a background task).
+        priority (see :meth:`flush_all`); ``trace_id`` tags the group for
+        the batch latency histogram's exemplar (last query wins).  The
+        ``max_batch``-th distinct source flushes the group synchronously
+        (the solve itself still runs as a background task).
         """
         loop = asyncio.get_running_loop()
         key = (graph, exec_key)
@@ -199,6 +212,8 @@ class QueryCoalescer:
         group.pending.setdefault(int(source), []).append(fut)
         if priority > group.priority:
             group.priority = int(priority)
+        if trace_id is not None:
+            group.trace_id = trace_id
         if deadline is not None and (
             group.deadline is None or deadline < group.deadline
         ):
@@ -254,12 +269,16 @@ class QueryCoalescer:
         """Solve one detached group on a worker thread and fan the
         per-source results (or the failure) out to every waiter."""
         sources = list(group.pending)  # insertion order, distinct
+        t0 = time.perf_counter()
         try:
             with use_span(span):
                 results = await asyncio.to_thread(
                     self._solve, group.graph, sources, group.kwargs
                 )
         except BaseException as exc:  # noqa: BLE001 - forwarded, not handled
+            self._batch_seconds.observe(
+                time.perf_counter() - t0, exemplar=group.trace_id
+            )
             if span is not None:
                 span.meta["error"] = type(exc).__name__
                 span.finish()
@@ -268,6 +287,9 @@ class QueryCoalescer:
                     if not fut.done():
                         fut.set_exception(exc)
             return
+        self._batch_seconds.observe(
+            time.perf_counter() - t0, exemplar=group.trace_id
+        )
         if span is not None:
             span.finish()
         for source, result in zip(sources, results):

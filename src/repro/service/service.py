@@ -46,18 +46,52 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 from repro.engine.backends import get_backend
 from repro.engine.batch import batched_local_mixing_times
+from repro.errors import ConvergenceError, GraphError
 from repro.graphs.base import Graph
 from repro.obs import MetricsRegistry, attach_or_record, default_registry, trace
+from repro.obs.flight import (
+    FlightRecorder,
+    QueryRecord,
+    graph_key,
+    kernels_from_span,
+    stages_from_span,
+)
 from repro.service.cache import ResultCache
 from repro.service.coalescer import QueryCoalescer
-from repro.service.errors import DeadlineExceededError, ServiceClosedError
+from repro.service.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceClosedError,
+)
 from repro.service.query import ExecutionKey, MixingQuery
 from repro.service.registry import GraphRegistry
 
 __all__ = ["MixingService"]
+
+
+def _outcome_code(exc: BaseException) -> str:
+    """The stable flight-record outcome code for a failed query — the
+    same coarse taxonomy the wire protocol's ``error_code_for`` exposes
+    to clients, except that unexpected exceptions keep their type name
+    (``"error:<Type>"``) because flight records are an operator's
+    diagnostic, not a client contract."""
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, OverloadedError):
+        return "overloaded"
+    if isinstance(exc, ServiceClosedError):
+        return "shutting_down"
+    if isinstance(exc, ConvergenceError):
+        return "unconverged"
+    if isinstance(exc, KeyError):
+        return "not_found"
+    if isinstance(exc, (ValueError, TypeError, GraphError)):
+        return "bad_request"
+    return f"error:{type(exc).__name__}"
 
 
 class MixingService:
@@ -89,6 +123,14 @@ class MixingService:
         Convenience alternative to ``executor``: the service lazily
         creates (and owns, and closes on :meth:`aclose`) a
         :class:`~repro.parallel.ShardExecutor` of this size.
+    flight_capacity:
+        Ring bound of the always-on
+        :class:`~repro.obs.flight.FlightRecorder` fed by every completed
+        :meth:`submit` (``0`` disables recording; exposed as
+        :attr:`flight`).
+    slow_threshold:
+        Seconds at or above which a completed query is also admitted to
+        the recorder's slow-query log.
     """
 
     def __init__(
@@ -100,6 +142,8 @@ class MixingService:
         max_batch: int = 64,
         executor=None,
         n_workers: int | None = None,
+        flight_capacity: int = 1024,
+        slow_threshold: float = 0.25,
     ):
         if executor is not None and n_workers is not None:
             raise ValueError("pass either executor or n_workers, not both")
@@ -133,13 +177,26 @@ class MixingService:
             "repro_service_deadline_expired_total",
             "Queries answered with DeadlineExceededError.",
         )
+        #: The always-on flight recorder of completed queries — read by
+        #: the wire debug endpoints (``/v1/debug/flight`` etc.) and by
+        #: :meth:`stats`.
+        self.flight = FlightRecorder(
+            flight_capacity,
+            slow_threshold=slow_threshold,
+            registry=self._metrics,
+        )
+        self._query_seconds = self._metrics.histogram(
+            "repro_service_query_seconds",
+            "End-to-end seconds per submitted query (bucket exemplars "
+            "carry flight-recorder trace ids).",
+        )
         self.registry.add_listener(self._on_graph_change)
 
     # ------------------------------------------------------------------ #
     # Query admission
     # ------------------------------------------------------------------ #
 
-    async def submit(self, query: MixingQuery):
+    async def submit(self, query: MixingQuery, *, trace_id: str | None = None):
         """Answer one query (a
         :class:`~repro.walks.local_mixing.LocalMixingResult` bitwise equal
         to the direct engine call for the query's graph, source and
@@ -155,9 +212,42 @@ class MixingService:
         shared solve keeps running for its co-waiters and the result
         cache.  Deadlines and ``priority`` never change what is computed
         (they are absent from both the cache key and the coalescing
-        group)."""
+        group).
+
+        Every completed query — answered, deadline-expired, failed, or
+        cancelled by a disconnecting wire client — leaves one
+        :class:`~repro.obs.flight.QueryRecord` on :attr:`flight` and one
+        observation (exemplar: the trace id) on the query latency
+        histogram.  ``trace_id`` lets the wire layer pin the id it tagged
+        its own histogram with; omitted, the recorder assigns one."""
         if self._closed:
             raise ServiceClosedError("MixingService is closed")
+        tid = (
+            trace_id if trace_id is not None else self.flight.next_trace_id()
+        )
+        state: dict = {}
+        outcome = "ok"
+        qspan = None
+        t0 = time.perf_counter()
+        try:
+            with trace(
+                "query", source=int(query.source), trace_id=tid
+            ) as qspan:
+                return await self._submit_traced(query, tid, state, qspan)
+        except BaseException as exc:
+            outcome = _outcome_code(exc)
+            raise
+        finally:
+            self._record_query(
+                query, tid, outcome, time.perf_counter() - t0, state, qspan
+            )
+
+    async def _submit_traced(
+        self, query: MixingQuery, tid: str, state: dict, qspan
+    ):
+        """The submit pipeline proper, running inside the query's trace
+        span and flight-record window (``state`` collects what the record
+        needs as it becomes known: graph, knobs, backend, disposition)."""
         deadline_at = None
         if query.deadline is not None:
             if query.deadline <= 0:
@@ -170,66 +260,116 @@ class MixingService:
             deadline_at = (
                 asyncio.get_running_loop().time() + float(query.deadline)
             )
-        with trace("query", source=int(query.source)) as qspan:
-            g = self.registry.resolve(query.graph)
-            source = int(query.source)
-            if not 0 <= source < g.n:
-                raise ValueError("source out of range")
-            tkey = query.semantic_key(g)
-            cache_key = (g, source, tkey)
+        g = self.registry.resolve(query.graph)
+        state["graph"] = g
+        source = int(query.source)
+        if not 0 <= source < g.n:
+            raise ValueError("source out of range")
+        tkey = query.semantic_key(g)
+        state["knobs"] = tkey
+        cache_key = (g, source, tkey)
 
-            # In-flight first: a key is in flight XOR cached XOR neither
-            # (the completion callback retires one and fills the other
-            # atomically on the loop), and dedup-served queries should not
-            # count as cache misses — they never cost a solve.
-            inflight = self._inflight.get(cache_key)
-            if inflight is not None:
-                self._cache.count_inflight_hit()
-                if qspan is not None:
-                    qspan.meta["outcome"] = "inflight_dedup"
-                result = await self._await_answer(
-                    inflight, deadline_at, query.deadline
-                )
-                self._adopt_batch_span(inflight)
-                return result
-            with trace("cache_lookup") as cspan:
-                cached = self._cache.get(*cache_key)
-            if cached is not None:
-                if qspan is not None:
-                    qspan.meta["outcome"] = "cache_hit"
-                return cached
-            if cspan is not None:
-                cspan.meta["outcome"] = "miss"
-
-            exec_key = ExecutionKey(
-                times=tkey,
-                batch_size=query.batch_size,
-                prefilter=query.prefilter,
-                # Resolved to its registered name so backend=None and the
-                # default backend's explicit name coalesce into one group;
-                # the semantic cache key above excludes the backend
-                # entirely (results are backend-independent by contract).
-                backend=get_backend(query.backend).name,
-            )
-            fut = self._coalescer.enqueue(
-                g,
-                exec_key,
-                source,
-                query.engine_kwargs(),
-                deadline=deadline_at,
-                priority=query.priority,
-            )
-            self._inflight[cache_key] = fut
-            fut.add_done_callback(
-                lambda f, key=cache_key: self._finish(key, f)
-            )
+        # In-flight first: a key is in flight XOR cached XOR neither
+        # (the completion callback retires one and fills the other
+        # atomically on the loop), and dedup-served queries should not
+        # count as cache misses — they never cost a solve.
+        inflight = self._inflight.get(cache_key)
+        if inflight is not None:
+            self._cache.count_inflight_hit()
+            state["cache"] = "inflight_dedup"
             if qspan is not None:
-                qspan.meta["outcome"] = "solved"
+                qspan.meta["outcome"] = "inflight_dedup"
             result = await self._await_answer(
-                fut, deadline_at, query.deadline
+                inflight, deadline_at, query.deadline
             )
-            self._adopt_batch_span(fut)
+            self._adopt_batch_span(inflight)
             return result
+        with trace("cache_lookup") as cspan:
+            cached = self._cache.get(*cache_key)
+        if cached is not None:
+            state["cache"] = "hit"
+            if qspan is not None:
+                qspan.meta["outcome"] = "cache_hit"
+            return cached
+        state["cache"] = "miss"
+        if cspan is not None:
+            cspan.meta["outcome"] = "miss"
+
+        exec_key = ExecutionKey(
+            times=tkey,
+            batch_size=query.batch_size,
+            prefilter=query.prefilter,
+            # Resolved to its registered name so backend=None and the
+            # default backend's explicit name coalesce into one group;
+            # the semantic cache key above excludes the backend
+            # entirely (results are backend-independent by contract).
+            backend=get_backend(query.backend).name,
+        )
+        state["backend"] = exec_key.backend
+        fut = self._coalescer.enqueue(
+            g,
+            exec_key,
+            source,
+            query.engine_kwargs(),
+            deadline=deadline_at,
+            priority=query.priority,
+            trace_id=tid,
+        )
+        self._inflight[cache_key] = fut
+        fut.add_done_callback(
+            lambda f, key=cache_key: self._finish(key, f)
+        )
+        if qspan is not None:
+            qspan.meta["outcome"] = "solved"
+        result = await self._await_answer(
+            fut, deadline_at, query.deadline
+        )
+        self._adopt_batch_span(fut)
+        return result
+
+    def _record_query(
+        self, query: MixingQuery, tid: str, outcome: str, dt: float,
+        state: dict, qspan,
+    ) -> None:
+        """Completion hook of :meth:`submit` (runs for every outcome):
+        observe the end-to-end latency with the query's trace id as the
+        bucket exemplar and append the flight record — O(1) appends of
+        numbers the pipeline already computed, never touching the result."""
+        self._query_seconds.observe(dt, exemplar=tid)
+        if not self.flight.enabled:
+            return
+        try:
+            source = int(query.source)
+        except (TypeError, ValueError):
+            source = -1
+        g = state.get("graph")
+        batch = None
+        if qspan is not None:
+            bspan = qspan.find("coalesced_batch")
+            if bspan is not None:
+                batch = {
+                    "sources": bspan.meta.get("sources"),
+                    "trigger": bspan.meta.get("trigger"),
+                }
+        self.flight.record(
+            QueryRecord(
+                trace_id=tid,
+                graph=graph_key(g) if g is not None else None,
+                source=source,
+                outcome=outcome,
+                duration=dt,
+                knobs=state.get("knobs"),
+                backend=state.get("backend"),
+                cache=state.get("cache"),
+                batch=batch,
+                kernels=kernels_from_span(qspan),
+                stages=stages_from_span(qspan),
+                priority=query.priority,
+                deadline=query.deadline,
+                wall_time=time.time(),
+                span=qspan,
+            )
+        )
 
     async def _await_answer(
         self,
@@ -359,13 +499,15 @@ class MixingService:
     def stats(self) -> dict:
         """One dictionary of every layer's counters: ``cache`` (hits /
         misses / inflight dedup / carry-forward), ``coalescer`` (batches,
-        flush triggers, largest batch), ``registry`` (resolves, changes)
-        and — when a pool is attached — ``executor`` utilization."""
+        flush triggers, largest batch), ``registry`` (resolves, changes),
+        ``flight`` (recorder totals and occupancy) and — when a pool is
+        attached — ``executor`` utilization."""
         out = {
             "cache": self._cache.stats(),
             "coalescer": self._coalescer.stats(),
             "registry": self.registry.stats(),
             "service": {"deadline_expired": self._expired.value},
+            "flight": self.flight.stats(),
         }
         if self._executor is not None:
             out["executor"] = self._executor.stats()

@@ -6,10 +6,12 @@ raw asyncio streams (:mod:`repro.service.wire.http`), a versioned JSON
 protocol carries the full :class:`~repro.service.MixingQuery` knob space
 (:mod:`repro.service.wire.protocol`), and
 :class:`~repro.service.wire.server.WireServer` fronts the service with
-bounded admission, per-query deadlines threaded into the coalescer's
-flush timer, a verbatim Prometheus ``GET /metrics`` endpoint, and
-graceful drain.  :mod:`repro.service.wire.client` is the matching client
-(one-shot HTTP and a multiplexing WebSocket session).
+bounded admission with priority preemption, per-query deadlines threaded
+into the coalescer's flush timer, a verbatim Prometheus ``GET /metrics``
+endpoint, flight-recorder debug endpoints (``/v1/debug/flight`` /
+``/v1/debug/slow`` / ``/v1/debug/trace/<id>``), and graceful drain.
+:mod:`repro.service.wire.client` is the matching client (one-shot HTTP,
+a multiplexing WebSocket session, and debug-endpoint helpers).
 
 The contract is the library-wide one: **the wire changes transport,
 never answers** — a result decoded off the socket is bitwise identical,
@@ -19,7 +21,14 @@ through drain (``tests/test_wire_protocol.py``,
 ``tests/test_wire_faults.py``, ``tests/test_wire_serving.py``).
 """
 
-from repro.service.wire.client import WireClient, http_get, http_query
+from repro.service.wire.client import (
+    WireClient,
+    debug_flight,
+    debug_slow,
+    debug_trace,
+    http_get,
+    http_query,
+)
 from repro.service.wire.protocol import (
     ERROR_STATUS,
     PROTOCOL_VERSION,
@@ -33,6 +42,9 @@ __all__ = [
     "WireClient",
     "WireError",
     "WireServer",
+    "debug_flight",
+    "debug_slow",
+    "debug_trace",
     "http_get",
     "http_query",
 ]

@@ -5,7 +5,9 @@ Two shapes, matching the two transports:
 * :func:`http_query` — one-shot: open a connection, ``POST /v1/query``,
   decode the answer (typed exceptions for error envelopes), close.
   Also :func:`http_get` for the plain-text endpoints (``/metrics``,
-  ``/healthz``).
+  ``/healthz``) and the :func:`debug_flight` / :func:`debug_slow` /
+  :func:`debug_trace` helpers for the server's flight-recorder debug
+  endpoints (decoded JSON in the :mod:`repro.obs.export` schema).
 * :class:`WireClient` — a persistent WebSocket session: queries are
   submitted concurrently over one socket, correlated back to their
   futures by the request ``id`` the server echoes (answers may arrive in
@@ -26,6 +28,7 @@ import asyncio
 import base64
 import itertools
 import os
+from urllib.parse import quote
 
 from repro.service.wire import protocol
 from repro.service.wire.http import (
@@ -39,7 +42,14 @@ from repro.service.wire.http import (
     ws_read_message,
 )
 
-__all__ = ["WireClient", "http_get", "http_query"]
+__all__ = [
+    "WireClient",
+    "debug_flight",
+    "debug_slow",
+    "debug_trace",
+    "http_get",
+    "http_query",
+]
 
 
 async def http_get(host: str, port: int, path: str) -> tuple[int, bytes]:
@@ -62,6 +72,82 @@ async def http_get(host: str, port: int, path: str) -> tuple[int, bytes]:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+def _debug_qs(limit=None, graph=None, backend=None, outcome=None) -> str:
+    pairs = [
+        (name, value)
+        for name, value in (
+            ("limit", limit),
+            ("graph", graph),
+            ("backend", backend),
+            ("outcome", outcome),
+        )
+        if value is not None
+    ]
+    if not pairs:
+        return ""
+    return "?" + "&".join(f"{name}={quote(str(value))}" for name, value in pairs)
+
+
+async def _debug_get(host: str, port: int, path: str) -> dict:
+    status, body = await http_get(host, port, path)
+    obj = protocol.loads(body)
+    if status != 200:
+        err = (obj.get("error") or {}) if isinstance(obj, dict) else {}
+        raise protocol.exception_for_code(
+            err.get("code", "internal"),
+            err.get("message", f"debug endpoint answered {status}"),
+        )
+    return obj
+
+
+async def debug_flight(
+    host: str,
+    port: int,
+    *,
+    limit: int | None = None,
+    graph: str | None = None,
+    backend: str | None = None,
+    outcome: str | None = None,
+) -> dict:
+    """``GET /v1/debug/flight``: the server's most recent flight records
+    (newest first, optionally filtered, server-bounded) as the decoded
+    export envelope ``{"v", "kind", "records", "stats"}``."""
+    return await _debug_get(
+        host,
+        port,
+        "/v1/debug/flight"
+        + _debug_qs(limit=limit, graph=graph, backend=backend,
+                    outcome=outcome),
+    )
+
+
+async def debug_slow(
+    host: str,
+    port: int,
+    *,
+    limit: int | None = None,
+    graph: str | None = None,
+    backend: str | None = None,
+) -> dict:
+    """``GET /v1/debug/slow``: the server's slowest retained queries
+    (descending duration, optionally filtered per graph / backend)."""
+    return await _debug_get(
+        host,
+        port,
+        "/v1/debug/slow"
+        + _debug_qs(limit=limit, graph=graph, backend=backend),
+    )
+
+
+async def debug_trace(host: str, port: int, trace_id: str) -> dict:
+    """``GET /v1/debug/trace/<id>``: one query's flight record with its
+    full span timeline embedded; raises ``KeyError`` (the ``not_found``
+    taxonomy) when the server retains no such record."""
+    return await _debug_get(
+        host, port, f"/v1/debug/trace/{quote(trace_id)}"
+    )
 
 
 async def http_query(host: str, port: int, query) -> object:

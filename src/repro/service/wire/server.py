@@ -19,6 +19,15 @@ Routes
   cache + coalescer + registry + executor + kernel families.
 * ``GET /healthz`` — liveness JSON (status + queue depth + draining
   flag).
+* ``GET /v1/debug/flight`` / ``/v1/debug/slow`` /
+  ``/v1/debug/trace/<id>`` — the service's flight recorder
+  (:mod:`repro.obs.flight`) in the stable export schema
+  (:mod:`repro.obs.export`): recent / slowest-N query records
+  (``?limit=&graph=&backend=&outcome=`` filters, response sizes
+  bounded server-side) and one query's full span timeline by trace id.
+  Debug and metrics endpoints are *observe-only*: they stay served
+  while draining, and they are excluded from the query-path connection
+  gauge — a scrape never observes itself.
 
 Admission and backpressure
 --------------------------
@@ -30,6 +39,17 @@ explicit backpressure instead of unbounded buffering, so a client herd
 degrades into fast, visible rejections rather than silent latency
 collapse.  Rejected queries consume no engine work.  While draining,
 new queries are answered ``shutting_down`` (503) instead.
+
+Under pressure, **priority preempts**: when the bound is full and the
+arriving query carries a higher ``priority`` than some admitted query
+still waiting, the lowest-priority waiter is released with
+``overloaded`` (429, counted in
+``repro_wire_priority_preempted_total``) and the new query takes its
+slot — so urgent traffic is not locked out by a backlog of background
+work.  Preemption releases only the wire waiter: a preempted query's
+underlying solve (shared with co-waiters and the result cache) keeps
+running, exactly like a deadline miss.  Priorities never change what is
+computed.
 
 Deadlines ride the query objects themselves
 (:attr:`~repro.service.MixingQuery.deadline`): the service threads them
@@ -63,8 +83,10 @@ from __future__ import annotations
 
 import asyncio
 import time
+from urllib.parse import parse_qs
 
 from repro.obs import MetricsRegistry, trace
+from repro.obs import export as flight_export
 from repro.service.errors import OverloadedError, ServiceClosedError
 from repro.service.wire import http as _http
 from repro.service.wire import protocol
@@ -119,6 +141,11 @@ class WireServer:
         self._pending = 0
         self._conn_tasks: set[asyncio.Task] = set()
         self._query_tasks: set[asyncio.Task] = set()
+        # Admitted queries still waiting, keyed by a per-query token:
+        # token -> (priority, preempt future).  A higher-priority arrival
+        # under max_pending pressure resolves the lowest-priority entry's
+        # future instead of being 429'd itself.
+        self._admissions: dict[object, tuple[int, asyncio.Future]] = {}
 
         self.metrics = MetricsRegistry()
         self._requests = self.metrics.counter(
@@ -160,6 +187,16 @@ class WireServer:
         self._disconnects = self.metrics.counter(
             "repro_wire_client_disconnects_total",
             "Connections dropped by the peer with queries in flight.",
+        )
+        self._preempted = self.metrics.counter(
+            "repro_wire_priority_preempted_total",
+            "Admitted wire queries preempted (429) by a higher-priority "
+            "arrival under max_pending pressure.",
+        )
+        self._debug_requests = self.metrics.counter(
+            "repro_wire_debug_requests_total",
+            "Debug-endpoint requests served.",
+            labels=("endpoint",),
         )
         # One scrape covers everything: /metrics serves the *service's*
         # composed registry verbatim, and these counters ride along.
@@ -235,6 +272,7 @@ class WireServer:
             "answered": self._answered.value,
             "expired": self._expired.value,
             "errored": self._errored.value,
+            "preempted": self._preempted.value,
             "queue_depth": self._pending,
             "connections": self._connections.value,
         }
@@ -243,11 +281,47 @@ class WireServer:
     # Query handling (transport-independent)
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _peek_priority(obj) -> int:
+        """The ``priority`` of a not-yet-decoded request envelope (0 on
+        any malformation — a bad request never preempts anyone; it fails
+        in ``decode_request`` after admission like before)."""
+        if isinstance(obj, dict) and isinstance(obj.get("query"), dict):
+            try:
+                return int(obj["query"].get("priority", 0))
+            except (TypeError, ValueError):
+                return 0
+        return 0
+
+    def _try_preempt(self, priority: int) -> bool:
+        """Under ``max_pending`` pressure: release the lowest-priority
+        admitted waiter whose priority is strictly below ``priority``
+        (its wire answer becomes ``overloaded``; its underlying solve
+        keeps running for co-waiters and the cache).  True when a victim
+        was found — the caller's query then takes the freed slot."""
+        victim_token, victim_priority = None, priority
+        for token, (pri, fut) in self._admissions.items():
+            if pri < victim_priority and not fut.done():
+                victim_token, victim_priority = token, pri
+        if victim_token is None:
+            return False
+        _, fut = self._admissions.pop(victim_token)
+        fut.set_result(None)
+        self._preempted.inc()
+        return True
+
     async def _answer(self, payload: bytes, transport: str) -> tuple[dict, int]:
         """Decode, admit and answer one protocol request; returns
         ``(response_object, http_status)``.  Never raises — every failure
         mode maps to a typed error envelope, and the counters account for
-        the query exactly once."""
+        the query exactly once.
+
+        Admission under pressure prefers priority: a full queue first
+        tries :meth:`_try_preempt` with the arrival's priority and only
+        then rejects with 429.  (While the preempted waiter unwinds,
+        ``_pending`` may transiently read ``max_pending + 1`` — the
+        preemptor is admitted in the same loop turn its victim is
+        released.)"""
         self._requests.inc()
         req_id = None
         try:
@@ -255,7 +329,9 @@ class WireServer:
             req_id = obj.get("id") if isinstance(obj, dict) else None
             if self._draining:
                 raise ServiceClosedError("server is draining")
-            if self._pending >= self.max_pending:
+            if self._pending >= self.max_pending and not self._try_preempt(
+                self._peek_priority(obj)
+            ):
                 raise OverloadedError(
                     f"{self._pending} queries in flight (bound "
                     f"{self.max_pending}); retry with backoff"
@@ -271,11 +347,34 @@ class WireServer:
         self._admitted.inc()
         self._pending += 1
         self._queue_depth.set(self._pending)
+        flight = getattr(self.service, "flight", None)
+        tid = flight.next_trace_id() if flight is not None else None
+        token = object()
+        preempt_fut = asyncio.get_running_loop().create_future()
         t0 = time.perf_counter()
         try:
             with trace("wire_request", transport=transport):
                 req_id, query = protocol.decode_request(obj)
-                result = await self.service.submit(query)
+                self._admissions[token] = (query.priority, preempt_fut)
+                submit = asyncio.ensure_future(
+                    self.service.submit(query, trace_id=tid)
+                    if tid is not None
+                    else self.service.submit(query)
+                )
+                await asyncio.wait(
+                    {submit, preempt_fut},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if preempt_fut.done() and not submit.done():
+                    # Only this waiter is released; the shared solve is
+                    # shielded inside the service and keeps running.
+                    submit.cancel()
+                    await asyncio.gather(submit, return_exceptions=True)
+                    raise OverloadedError(
+                        "preempted by a higher-priority query; retry "
+                        "with backoff"
+                    )
+                result = await submit
             self._answered.inc()
             return protocol.encode_response(req_id, result), 200
         except BaseException as exc:
@@ -289,22 +388,38 @@ class WireServer:
                 protocol.ERROR_STATUS[code],
             )
         finally:
+            self._admissions.pop(token, None)
             self._pending -= 1
             self._queue_depth.set(self._pending)
-            self._latency.observe(time.perf_counter() - t0)
+            self._latency.observe(time.perf_counter() - t0, exemplar=tid)
 
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
 
+    #: Paths that only *observe* the server (scrapes, health probes,
+    #: flight-recorder reads).  Connections that never leave this set are
+    #: excluded from the query-path connection gauge, so a ``/metrics``
+    #: scrape compares verbatim with a locally rendered registry — the
+    #: scrape never observes itself.
+    _OBSERVE_PATHS = ("/metrics", "/healthz")
+    _OBSERVE_PREFIX = "/v1/debug/"
+
+    @classmethod
+    def _is_observe_only(cls, path: str) -> bool:
+        return path in cls._OBSERVE_PATHS or path.startswith(
+            cls._OBSERVE_PREFIX
+        )
+
     async def _handle_conn(self, reader, writer) -> None:
         """One accepted TCP connection: HTTP keep-alive loop, possibly
-        upgraded to a WebSocket session."""
+        upgraded to a WebSocket session.  The connection gauge counts the
+        connection only once it issues a non-observe-only request."""
         task = asyncio.current_task()
         self._conn_tasks.add(task)
-        self._connections.inc()
+        conn_state = {"counted": False}
         try:
-            await self._http_loop(reader, writer)
+            await self._http_loop(reader, writer, conn_state)
         except asyncio.CancelledError:
             # Drain: aclose() cancels idle connections after the last
             # answer is written.  Finish normally — a task left in the
@@ -319,7 +434,8 @@ class WireServer:
         ):
             pass  # peer misbehaved or went away; drop the connection
         finally:
-            self._connections.inc(-1)
+            if conn_state["counted"]:
+                self._connections.inc(-1)
             self._conn_tasks.discard(task)
             writer.close()
             try:
@@ -327,14 +443,24 @@ class WireServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _http_loop(self, reader, writer) -> None:
+    def _count_conn(self, conn_state: dict) -> None:
+        """Admit this connection into the connection gauge (idempotent;
+        called on the first query-path request or WS upgrade)."""
+        if not conn_state["counted"]:
+            conn_state["counted"] = True
+            self._connections.inc()
+
+    async def _http_loop(self, reader, writer, conn_state: dict) -> None:
         while True:
             request = await _http.read_request(reader)
             if request is None:
                 return
             if self._is_ws_upgrade(request):
+                self._count_conn(conn_state)
                 await self._ws_session(reader, writer, request)
                 return
+            if not self._is_observe_only(request.path.split("?", 1)[0]):
+                self._count_conn(conn_state)
             keep_alive = (
                 request.header("connection").lower() != "close"
                 and not self._draining
@@ -368,6 +494,8 @@ class WireServer:
                 }
             )
             return 200, body, "application/json"
+        if path.startswith(self._OBSERVE_PREFIX) and method == "GET":
+            return self._route_debug(request, path)
         if path == "/v1/query":
             if method != "POST":
                 return (
@@ -398,6 +526,74 @@ class WireServer:
                 protocol.encode_error_response(
                     None, "not_found", f"no route {method} {path}"
                 )
+            ),
+            "application/json",
+        )
+
+    def _route_debug(self, request: Request, path: str) -> tuple[int, bytes, str]:
+        """Serve one flight-recorder debug endpoint (``/v1/debug/flight``,
+        ``/v1/debug/slow``, ``/v1/debug/trace/<id>``).  Responses are
+        bounded (the export layer clamps ``limit``), observe-only (served
+        during drain, excluded from the connection gauge), and JSON in
+        the stable :mod:`repro.obs.export` schema."""
+        flight = getattr(self.service, "flight", None)
+        if flight is None:
+            return self._debug_error(
+                404, "not_found", "service has no flight recorder"
+            )
+        params = parse_qs(request.path.partition("?")[2])
+
+        def param(name: str) -> str | None:
+            values = params.get(name)
+            return values[-1] if values else None
+
+        try:
+            limit = (
+                int(param("limit")) if param("limit") is not None else None
+            )
+        except ValueError:
+            return self._debug_error(
+                400, "bad_request", f"bad limit {param('limit')!r}"
+            )
+        if path == "/v1/debug/flight":
+            self._debug_requests.labels(endpoint="flight").inc()
+            payload = flight_export.flight_payload(
+                flight,
+                limit=limit,
+                graph=param("graph"),
+                backend=param("backend"),
+                outcome=param("outcome"),
+            )
+            return 200, protocol.dumps(payload), "application/json"
+        if path == "/v1/debug/slow":
+            self._debug_requests.labels(endpoint="slow").inc()
+            payload = flight_export.slow_payload(
+                flight,
+                limit=limit,
+                graph=param("graph"),
+                backend=param("backend"),
+            )
+            return 200, protocol.dumps(payload), "application/json"
+        trace_prefix = self._OBSERVE_PREFIX + "trace/"
+        if path.startswith(trace_prefix):
+            self._debug_requests.labels(endpoint="trace").inc()
+            trace_id = path[len(trace_prefix):]
+            payload = flight_export.trace_payload(flight, trace_id)
+            if payload is None:
+                return self._debug_error(
+                    404, "not_found", f"no flight record {trace_id!r}"
+                )
+            return 200, protocol.dumps(payload), "application/json"
+        return self._debug_error(
+            404, "not_found", f"no debug route {path}"
+        )
+
+    @staticmethod
+    def _debug_error(status: int, code: str, message: str) -> tuple[int, bytes, str]:
+        return (
+            status,
+            protocol.dumps(
+                protocol.encode_error_response(None, code, message)
             ),
             "application/json",
         )

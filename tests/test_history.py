@@ -1,0 +1,263 @@
+"""Perf-trajectory history tests: entry schema, append-only storage, the
+regression comparator, and the ``tools/bench_track.py`` CLI.
+
+The comparator's verdict taxonomy (see :mod:`repro.obs.history`):
+identity mismatches are *gated* (exact match against the most recent
+comparable baseline, no noise band), timing excursions beyond
+``(1 + noise) ×`` the trailing median are warnings unless the caller
+gates them, and entries are only ever compared against history with the
+same benchmark, quick-mode flag and machine fingerprint.  Synthetic
+histories below exercise each verdict deterministically.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.history import (
+    Finding,
+    append_entry,
+    check_history,
+    compare,
+    extract_entry,
+    fingerprint_key,
+    load_history,
+    machine_fingerprint,
+)
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def entry(bench="bench_x", *, timings=None, identity=None, quick=False,
+          fingerprint=None):
+    return {
+        "bench": bench,
+        "recorded_at": None,
+        "quick": quick,
+        "fingerprint": (
+            fingerprint if fingerprint is not None else machine_fingerprint()
+        ),
+        "timings": dict(timings or {}),
+        "identity": dict(identity or {}),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Entry schema and storage
+# --------------------------------------------------------------------- #
+
+
+class TestEntryAndStorage:
+    def test_fingerprint_is_stable_and_keyable(self):
+        a, b = machine_fingerprint(), machine_fingerprint()
+        assert a == b
+        assert fingerprint_key(a) == fingerprint_key(b)
+        assert a["python"] and a["platform"]
+        assert fingerprint_key(None) == fingerprint_key({})
+
+    def test_extract_entry_from_reporter_snapshot(self, monkeypatch):
+        snapshot = {
+            "bench": "bench_y",
+            "sections": {"solve": 1.25, "setup": 0.5},
+            "identity": {"digest": "abc", "n_results": 24},
+        }
+        monkeypatch.delenv("REPRO_BENCH_QUICK", raising=False)
+        e = extract_entry(snapshot, recorded_at=123.0)
+        assert e["bench"] == "bench_y"
+        assert e["quick"] is False
+        assert e["recorded_at"] == 123.0
+        assert e["timings"] == {"solve": 1.25, "setup": 0.5}
+        assert e["identity"] == {"digest": "abc", "n_results": 24}
+        assert e["fingerprint"] == machine_fingerprint()
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert extract_entry(snapshot)["quick"] is True
+        assert extract_entry(snapshot, quick=False)["quick"] is False
+        # Degenerate snapshots still distill.
+        bare = extract_entry({}, quick=False)
+        assert bare["timings"] == {} and bare["identity"] == {}
+
+    def test_append_is_append_only_and_loads_in_order(self, tmp_path):
+        hist = str(tmp_path / "history")
+        e1 = entry(timings={"solve": 1.0})
+        e2 = entry(timings={"solve": 1.1})
+        path = append_entry(hist, e1)
+        first_line = open(path).read()
+        assert append_entry(hist, e2) == path
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        assert lines[0] + "\n" == first_line  # nothing rewritten
+        assert load_history(path) == [e1, e2]
+        assert load_history(str(tmp_path / "missing.jsonl")) == []
+        with pytest.raises(ValueError):
+            append_entry(hist, {"timings": {}})  # no bench name
+
+
+# --------------------------------------------------------------------- #
+# Comparator verdicts
+# --------------------------------------------------------------------- #
+
+
+class TestComparator:
+    def test_empty_history_passes_vacuously(self):
+        assert compare(entry(timings={"solve": 99.0}), []) == []
+
+    def test_timing_regression_warns_then_gates(self):
+        history = [entry(timings={"solve": 1.0}) for _ in range(5)]
+        fast = entry(timings={"solve": 1.2})  # within the 25% band
+        assert compare(fast, history) == []
+        slow = entry(timings={"solve": 2.0})
+        findings = compare(slow, history)
+        assert len(findings) == 1
+        f = findings[0]
+        assert isinstance(f, Finding)
+        assert f.kind == "timing_regression"
+        assert f.field == "timings.solve"
+        assert f.ratio == pytest.approx(2.0)
+        assert f.baseline == pytest.approx(1.0)
+        assert not f.gated  # warn-only by default
+        gated = compare(slow, history, gate_timing=True)
+        assert gated[0].gated
+
+    def test_timing_median_over_trailing_window(self):
+        # Old entries are slow; the recent window is fast — the median
+        # must come from the window, so 1.5s regresses against ~1.0s.
+        history = (
+            [entry(timings={"solve": 10.0}) for _ in range(5)]
+            + [entry(timings={"solve": 1.0}) for _ in range(4)]
+        )
+        findings = compare(entry(timings={"solve": 1.5}), history, window=5)
+        assert len(findings) == 1
+        assert findings[0].baseline == pytest.approx(1.0)
+        # A wider window pulls the slow tail in and the excursion passes.
+        assert compare(
+            entry(timings={"solve": 1.5}), history, window=9
+        ) == []
+
+    def test_identity_mismatch_always_gates(self):
+        history = [entry(identity={"digest": "abc", "count": 24})]
+        same = entry(identity={"digest": "abc", "count": 24})
+        assert compare(same, history) == []
+        drifted = entry(identity={"digest": "DRIFT", "count": 24})
+        findings = compare(drifted, history)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.kind == "identity_mismatch"
+        assert f.field == "identity.digest"
+        assert f.gated  # no noise band excuses a changed answer
+        assert f.value == "DRIFT" and f.baseline == "abc"
+        # A brand-new identity field has no baseline: vacuous pass.
+        novel = entry(identity={"digest": "abc", "extra": 1})
+        assert compare(novel, history) == []
+
+    def test_incomparable_history_is_ignored(self):
+        me = entry(timings={"solve": 5.0}, identity={"digest": "abc"})
+        other_bench = entry("bench_z", timings={"solve": 1.0},
+                            identity={"digest": "zzz"})
+        other_mode = entry(timings={"solve": 1.0}, quick=True,
+                           identity={"digest": "qqq"})
+        other_machine = entry(
+            timings={"solve": 1.0}, identity={"digest": "mmm"},
+            fingerprint={"platform": "elsewhere", "python": "0.0.0",
+                         "cpus": 1, "numpy": None},
+        )
+        assert compare(
+            me, [other_bench, other_mode, other_machine]
+        ) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            compare(entry(), [], noise=-0.1)
+        with pytest.raises(ValueError):
+            compare(entry(), [], window=0)
+
+    def test_check_history_end_to_end(self, tmp_path):
+        hist = str(tmp_path)
+        path = append_entry(hist, entry(timings={"solve": 1.0},
+                                        identity={"digest": "abc"}))
+        assert check_history(path) == []  # single entry: no findings
+        append_entry(hist, entry(timings={"solve": 1.05},
+                                 identity={"digest": "abc"}))
+        assert check_history(path) == []
+        append_entry(hist, entry(timings={"solve": 9.0},
+                                 identity={"digest": "DRIFT"}))
+        findings = check_history(path)
+        kinds = sorted(f.kind for f in findings)
+        assert kinds == ["identity_mismatch", "timing_regression"]
+        assert [f.gated for f in findings if f.kind == "identity_mismatch"] \
+            == [True]
+
+
+# --------------------------------------------------------------------- #
+# The CLI front end
+# --------------------------------------------------------------------- #
+
+
+class TestBenchTrackCli:
+    def run_cli(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(ROOT, "src")
+        return subprocess.run(
+            [sys.executable, os.path.join(ROOT, "tools", "bench_track.py"),
+             *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_record_then_check_round_trip(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        snapshot = {
+            "bench": "bench_fake",
+            "sections": {"solve": 1.0},
+            "identity": {"digest": "abc"},
+        }
+        (results / "bench_fake.metrics.json").write_text(
+            json.dumps(snapshot)
+        )
+        rec = self.run_cli("record", "--results-dir", str(results))
+        assert rec.returncode == 0, rec.stderr
+        hist_file = results / "history" / "bench_fake.jsonl"
+        assert hist_file.exists()
+        chk = self.run_cli("check", "--results-dir", str(results))
+        assert chk.returncode == 0, chk.stderr
+        assert "ok" in chk.stdout
+        # Second comparable run: still green.
+        rec2 = self.run_cli("record", "--results-dir", str(results))
+        assert rec2.returncode == 0
+        assert len(load_history(str(hist_file))) == 2
+        chk2 = self.run_cli("check", "--results-dir", str(results))
+        assert chk2.returncode == 0, chk2.stdout + chk2.stderr
+
+    def test_identity_drift_fails_the_check(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        art = results / "bench_fake.metrics.json"
+        art.write_text(json.dumps({
+            "bench": "bench_fake",
+            "sections": {"solve": 1.0},
+            "identity": {"digest": "abc"},
+        }))
+        assert self.run_cli(
+            "record", "--results-dir", str(results)
+        ).returncode == 0
+        art.write_text(json.dumps({
+            "bench": "bench_fake",
+            "sections": {"solve": 1.0},
+            "identity": {"digest": "DRIFT"},
+        }))
+        assert self.run_cli(
+            "record", "--results-dir", str(results)
+        ).returncode == 0
+        chk = self.run_cli("check", "--results-dir", str(results))
+        assert chk.returncode == 1
+        assert "FAIL" in chk.stdout and "digest" in chk.stdout
+
+    def test_empty_dirs_are_green(self, tmp_path):
+        assert self.run_cli(
+            "record", "--results-dir", str(tmp_path)
+        ).returncode == 0
+        assert self.run_cli(
+            "check", "--results-dir", str(tmp_path)
+        ).returncode == 0

@@ -122,6 +122,34 @@ def test_histogram_bucket_boundaries_are_le_inclusive():
         )
 
 
+def test_histogram_exemplars_last_wins_snapshot_only():
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "repro_test_tagged_seconds", "Ex.", buckets=(1.0, 2.0)
+    )
+    h.observe(0.5)  # exemplar-less observations are untagged
+    h.observe(0.7, exemplar="q-1")
+    h.observe(0.9, exemplar="q-2")  # same bucket: last observation wins
+    h.observe(1.5, exemplar="q-3")
+    h.observe(9.0, exemplar="q-4")  # overflow bucket
+    assert h.exemplars() == {"1.0": "q-2", "2.0": "q-3", "+Inf": "q-4"}
+    assert h.count == 5  # tagging never perturbs the counts
+    snap = reg.snapshot()["repro_test_tagged_seconds"]["series"][0]
+    assert snap["exemplars"] == {"1.0": "q-2", "2.0": "q-3", "+Inf": "q-4"}
+    # Exemplars live in the JSON view only: the Prometheus text render
+    # carries no trace ids and still parses clean.
+    text = reg.render()
+    assert "q-2" not in text and 'le="1.0"} 3' in text
+    _assert_prometheus_parseable(text)
+    # A histogram that never saw an exemplar omits the key entirely.
+    h2 = reg.histogram("repro_test_noex_seconds", "Plain.", buckets=(1.0,))
+    h2.observe(0.5)
+    assert "exemplars" not in reg.snapshot()[
+        "repro_test_noex_seconds"
+    ]["series"][0]
+    assert h2.exemplars() == {}
+
+
 def test_registry_rejects_kind_and_label_mismatch():
     reg = MetricsRegistry()
     reg.counter("repro_test_things_total", "Things.")

@@ -449,6 +449,112 @@ class TestBackpressure:
 
 
 # --------------------------------------------------------------------- #
+# Priority preemption under admission pressure
+# --------------------------------------------------------------------- #
+
+
+class TestPriorityPreemption:
+    def test_equal_priority_never_preempts(self, expander, expander_direct):
+        """A full queue plus an equal-priority arrival is a plain 429:
+        preemption needs *strictly* higher priority."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.05) as svc:
+                slow_solver(svc, 0.2)
+                async with WireServer(svc, max_pending=1) as server:
+                    async with WireClient(
+                        server.host, server.port
+                    ) as client:
+                        parked = asyncio.ensure_future(
+                            client.submit(wire_query(0))
+                        )
+                        await asyncio.sleep(0.02)  # parked is admitted
+                        with pytest.raises(OverloadedError):
+                            await client.submit(wire_query(1))
+                        assert await parked == expander_direct[0]
+                    stats = server.stats()
+                assert_no_leaks(svc, server)
+            check_accounting(stats)
+            assert stats["preempted"] == 0
+            assert stats["rejected"] == 1
+            assert stats["answered"] == 1
+
+        asyncio.run(main())
+
+    def test_higher_priority_preempts_lowest_waiter(
+        self, expander, expander_direct
+    ):
+        """Queue full of priority-0 work: a priority-5 arrival takes the
+        slot — the victim gets the typed 429, the preemptor is answered
+        bitwise, the counter moves, and the accounting still closes
+        (the victim is admitted + errored, never un-counted)."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.05) as svc:
+                slow_solver(svc, 0.2)
+                async with WireServer(svc, max_pending=1) as server:
+                    async with WireClient(
+                        server.host, server.port
+                    ) as client:
+                        victim = asyncio.ensure_future(
+                            client.submit(wire_query(0))
+                        )
+                        await asyncio.sleep(0.02)  # victim is admitted
+                        urgent = await client.submit(
+                            wire_query(1, priority=5)
+                        )
+                        assert urgent == expander_direct[1]
+                        with pytest.raises(OverloadedError):
+                            await victim
+                    stats = server.stats()
+                    flight = svc.flight.records()
+                assert_no_leaks(svc, server)
+            check_accounting(stats)
+            assert stats["preempted"] == 1
+            assert stats["rejected"] == 0  # the victim *was* admitted
+            assert stats["admitted"] == 2
+            assert stats["answered"] == 1
+            assert stats["errored"] == 1
+            # The preempted query still left a flight record — its wire
+            # waiter was cancelled, which the recorder keeps as a typed
+            # error outcome next to the preemptor's ok.
+            outcomes = sorted(r.outcome for r in flight)
+            assert outcomes == ["error:CancelledError", "ok"]
+
+        asyncio.run(main())
+
+    def test_preemptor_cannot_be_preempted_by_lower(self, expander):
+        """Priorities are compared against *waiting admitted* queries:
+        after a priority-5 query takes the slot, a late priority-1
+        arrival gets 429 instead of bouncing the higher one."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.05) as svc:
+                slow_solver(svc, 0.25)
+                async with WireServer(svc, max_pending=1) as server:
+                    async with WireClient(
+                        server.host, server.port
+                    ) as client:
+                        high = asyncio.ensure_future(
+                            client.submit(wire_query(0, priority=5))
+                        )
+                        await asyncio.sleep(0.02)
+                        with pytest.raises(OverloadedError):
+                            await client.submit(wire_query(1, priority=1))
+                        assert await high is not None
+                    stats = server.stats()
+                assert_no_leaks(svc, server)
+            check_accounting(stats)
+            assert stats["preempted"] == 0
+            assert stats["rejected"] == 1
+
+        asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
 # No leaked shared memory
 # --------------------------------------------------------------------- #
 

@@ -13,9 +13,10 @@ counters account for every request
 The /metrics test reuses the Prometheus line-format checker from
 ``tests/test_obs.py`` (same parsing helper, so the wire endpoint is held
 to the identical format bar as the in-process renderer) and proves the
-endpoint serves the service's composed registry *verbatim* — the scraped
-body differs from a local ``service.metrics.render()`` only in the
-connection gauge the scrape itself occupies.
+endpoint serves the service's composed registry *verbatim* — byte-equal
+to a local ``service.metrics.render()``: observe-only connections
+(scrapes, health probes, debug reads) are excluded from the connection
+gauge, so a scrape never observes itself.
 
 No pytest-asyncio in the image — each test drives its own event loop via
 ``asyncio.run``.
@@ -27,8 +28,19 @@ import pytest
 
 from repro.engine import batched_local_mixing_times
 from repro.graphs import generators as gen
+from repro.obs import observability
+from repro.obs.export import MAX_EXPORT_RECORDS
 from repro.service import GraphRegistry, MixingQuery, MixingService
-from repro.service.wire import WireClient, WireServer, http_get
+from repro.service import ServiceClosedError
+from repro.service.wire import (
+    WireClient,
+    WireServer,
+    debug_flight,
+    debug_slow,
+    debug_trace,
+    http_get,
+    http_query,
+)
 from test_obs import _assert_prometheus_parseable
 
 BETA = 4.0
@@ -110,15 +122,137 @@ class TestMetricsEndpoint:
             "repro_registry_resolves_total",
         ):
             assert family in text, f"missing family {family}"
-        # Verbatim: the only sample allowed to differ from a local render
-        # is the connection gauge the scrape itself occupies.
-        def strip(payload):
-            return [
-                line for line in payload.splitlines()
-                if not line.startswith("repro_wire_connections ")
-            ]
+        # Verbatim: the scrape connection is observe-only and excluded
+        # from the connection gauge, so the bodies match byte-for-byte.
+        assert text == local
 
-        assert strip(text) == strip(local)
+
+# --------------------------------------------------------------------- #
+# Flight-recorder debug endpoints
+# --------------------------------------------------------------------- #
+
+
+class TestDebugEndpoints:
+    def test_flight_slow_and_trace_round_trip(
+        self, expander, expander_direct
+    ):
+        """After live traffic: /v1/debug/flight lists the completed
+        queries newest first, /v1/debug/slow ranks them by duration, and
+        /v1/debug/trace/<id> serves one record with its span timeline —
+        all in the versioned export envelope, all JSON-decodable by the
+        client helpers."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(
+                registry=reg, window=0.005, slow_threshold=0.0
+            ) as svc:
+                async with WireServer(svc) as server:
+                    with observability(True):
+                        async with WireClient(
+                            server.host, server.port
+                        ) as client:
+                            results = await asyncio.gather(
+                                *(client.submit(wire_query(s))
+                                  for s in range(6))
+                            )
+                    assert results == expander_direct[:6]
+                    flight = await debug_flight(server.host, server.port)
+                    slow = await debug_slow(server.host, server.port)
+                    tid = flight["records"][0]["trace_id"]
+                    timeline = await debug_trace(
+                        server.host, server.port, tid
+                    )
+                    with pytest.raises(KeyError):
+                        await debug_trace(
+                            server.host, server.port, "q-unknown"
+                        )
+                    stats = server.stats()
+            return flight, slow, tid, timeline, stats
+
+        flight, slow, tid, timeline, stats = asyncio.run(main())
+        assert flight["v"] == 1 and flight["kind"] == "flight"
+        assert len(flight["records"]) == 6
+        assert flight["stats"]["records"] == 6
+        for rec in flight["records"]:
+            assert rec["outcome"] == "ok"
+            assert rec["trace_id"].startswith("q-")
+            assert "spans" not in rec  # listings never embed timelines
+        # slow_threshold=0.0 admits everything; ranked by duration.
+        durations = [r["duration"] for r in slow["records"]]
+        assert durations == sorted(durations, reverse=True)
+        assert timeline["kind"] == "trace"
+        assert timeline["record"]["trace_id"] == tid
+        assert timeline["record"]["spans"]["name"] == "query"
+        # Debug reads are observe-only: no connection ever counted.
+        assert stats["connections"] == 0
+
+    def test_limit_is_clamped_and_validated(self, expander):
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.0) as svc:
+                async with WireServer(svc) as server:
+                    for s in range(4):
+                        await http_query(
+                            server.host, server.port, wire_query(s)
+                        )
+                    greedy = await debug_flight(
+                        server.host, server.port, limit=10 ** 9
+                    )
+                    none = await debug_flight(
+                        server.host, server.port, limit=0
+                    )
+                    status, _body = await http_get(
+                        server.host, server.port,
+                        "/v1/debug/flight?limit=abc",
+                    )
+                    missing, _ = await http_get(
+                        server.host, server.port, "/v1/debug/nothing"
+                    )
+            return greedy, none, status, missing
+
+        greedy, none, status, missing = asyncio.run(main())
+        assert len(greedy["records"]) == min(4, MAX_EXPORT_RECORDS)
+        assert none["records"] == []
+        assert none["stats"]["records"] == 4  # counters still visible
+        assert status == 400
+        assert missing == 404
+
+    def test_debug_endpoints_served_during_drain(
+        self, expander, expander_direct
+    ):
+        """Drain refuses new *queries* but keeps the observe-only debug
+        endpoints readable — exactly when an operator most wants the
+        flight log."""
+
+        async def main():
+            reg = make_registry(expander)
+            async with MixingService(registry=reg, window=0.0) as svc:
+                async with WireServer(svc) as server:
+                    r = await http_query(
+                        server.host, server.port, wire_query(0)
+                    )
+                    assert r == expander_direct[0]
+                    server._draining = True
+                    try:
+                        flight = await debug_flight(
+                            server.host, server.port
+                        )
+                        health, _ = await http_get(
+                            server.host, server.port, "/healthz"
+                        )
+                        with pytest.raises(ServiceClosedError):
+                            await http_query(
+                                server.host, server.port, wire_query(1)
+                            )
+                    finally:
+                        server._draining = False
+            return flight, health
+
+        flight, health = asyncio.run(main())
+        assert health == 200
+        assert len(flight["records"]) == 1
+        assert flight["records"][0]["outcome"] == "ok"
 
 
 # --------------------------------------------------------------------- #

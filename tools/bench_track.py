@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Perf-trajectory CLI: record benchmark runs, check for regressions.
+
+The benchmark harness dumps one ``benchmarks/results/<bench>.metrics.json``
+snapshot per run — and the next run overwrites it.  This tool gives the
+suite a memory (see :mod:`repro.obs.history`):
+
+* ``record`` — distill every ``results/*.metrics.json`` artifact into a
+  compact, machine-fingerprinted history entry and append it to the
+  per-benchmark trajectory file ``results/history/<bench>.jsonl``
+  (append-only; nothing is ever rewritten).
+* ``check`` — compare each trajectory file's newest entry against its
+  trailing history: **identity fields gate hard** (an exact-match
+  mismatch exits non-zero — the computation's answer changed), while
+  timing excursions beyond the noise band against the trailing median
+  are warnings unless ``--fail-on-timing`` is passed (CI keeps the
+  timing gate warn-only; shared runners are noisy).
+
+Run from the repository root (CI does, right after the quick-mode
+benchmark smoke)::
+
+    PYTHONPATH=src python tools/bench_track.py record
+    PYTHONPATH=src python tools/bench_track.py check
+
+Exit status: ``record`` fails only on I/O errors; ``check`` exits 1 iff
+any *gated* finding fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.history import (  # noqa: E402  (path bootstrap above)
+    append_entry,
+    check_history,
+    extract_entry,
+)
+
+DEFAULT_RESULTS = ROOT / "benchmarks" / "results"
+
+
+def _history_dir(args) -> Path:
+    return (
+        Path(args.history_dir)
+        if args.history_dir
+        else Path(args.results_dir) / "history"
+    )
+
+
+def cmd_record(args) -> int:
+    """Append one history entry per ``*.metrics.json`` artifact found in
+    the results directory."""
+    results_dir = Path(args.results_dir)
+    history_dir = _history_dir(args)
+    artifacts = sorted(results_dir.glob("*.metrics.json"))
+    if not artifacts:
+        print(f"bench_track: no *.metrics.json under {results_dir}")
+        return 0
+    for artifact in artifacts:
+        snapshot = json.loads(artifact.read_text())
+        entry = extract_entry(snapshot, recorded_at=time.time())
+        if not entry.get("bench"):
+            entry["bench"] = artifact.name.removesuffix(".metrics.json")
+        path = append_entry(str(history_dir), entry)
+        print(
+            f"bench_track: recorded {entry['bench']} "
+            f"({len(entry['timings'])} timings, "
+            f"{len(entry['identity'])} identity fields) -> {path}"
+        )
+    return 0
+
+
+def cmd_check(args) -> int:
+    """Compare each trajectory file's newest entry against its history;
+    exit 1 iff a gated finding fired."""
+    history_dir = _history_dir(args)
+    files = sorted(history_dir.glob("*.jsonl")) if history_dir.is_dir() else []
+    if not files:
+        print(f"bench_track: no history under {history_dir} (nothing to check)")
+        return 0
+    gated_failures = 0
+    for path in files:
+        findings = check_history(
+            str(path),
+            noise=args.noise,
+            window=args.window,
+            gate_timing=args.fail_on_timing,
+        )
+        if not findings:
+            print(f"bench_track: {path.stem}: ok")
+            continue
+        for finding in findings:
+            tag = "FAIL" if finding.gated else "warn"
+            print(f"bench_track: {path.stem}: {tag}: {finding.message}")
+            if finding.gated:
+                gated_failures += 1
+    if gated_failures:
+        print(f"bench_track: {gated_failures} gated regression(s)")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``record`` / ``check`` subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="bench_track", description=__doc__.splitlines()[0]
+    )
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument(
+        "--results-dir",
+        default=str(DEFAULT_RESULTS),
+        help="directory holding *.metrics.json artifacts "
+        "(default: benchmarks/results)",
+    )
+    shared.add_argument(
+        "--history-dir",
+        default=None,
+        help="trajectory directory (default: <results-dir>/history)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "record",
+        parents=[shared],
+        help="append history entries from artifacts",
+    )
+    check = sub.add_parser(
+        "check", parents=[shared], help="compare newest entries vs history"
+    )
+    check.add_argument(
+        "--noise",
+        type=float,
+        default=0.25,
+        help="relative timing noise band vs the trailing median "
+        "(default 0.25 = +25%%)",
+    )
+    check.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trailing entries the timing median is taken over (default 5)",
+    )
+    check.add_argument(
+        "--fail-on-timing",
+        action="store_true",
+        help="gate timing regressions too (default: warn-only; identity "
+        "mismatches always gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return cmd_record(args)
+    return cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ Three checks, all dependency-free (stdlib + the library itself):
    package).
 3. **Quickstart** — the first ``python`` code block of README.md is
    executed; a broken quickstart fails the gate.
+4. **Tools** — every ``tools/*.py`` script must carry a module docstring
+   and document its top-level public functions (checked via ``ast`` so
+   the gate never imports — and thereby runs — a CLI script).
 
 Run from the repository root::
 
@@ -24,6 +27,7 @@ Exit status 0 iff every requested check passes.
 
 from __future__ import annotations
 
+import ast
 import inspect
 import re
 import sys
@@ -52,6 +56,7 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def iter_markdown_files():
+    """Yield every Markdown file the link check covers."""
     for pattern in MARKDOWN_GLOBS:
         yield from sorted(ROOT.glob(pattern))
 
@@ -144,14 +149,42 @@ def check_quickstart() -> list[str]:
     return []
 
 
+def check_tools() -> list[str]:
+    """Every ``tools/*.py`` script: module docstring plus docstrings on
+    all top-level public functions — parsed with ``ast`` (importing a
+    CLI script would execute it)."""
+    problems = []
+    for script in sorted((ROOT / "tools").glob("*.py")):
+        tree = ast.parse(script.read_text(encoding="utf-8"))
+        rel = script.relative_to(ROOT)
+        doc = ast.get_docstring(tree)
+        if not doc or len(doc.strip()) < MIN_DOCSTRING:
+            problems.append(f"{rel}: missing module docstring")
+        for node in tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            fdoc = ast.get_docstring(node)
+            if not fdoc or len(fdoc.strip()) < MIN_DOCSTRING:
+                problems.append(
+                    f"{rel}: function {node.name} missing docstring"
+                )
+    return problems
+
+
 CHECKS = {
     "links": check_links,
     "docstrings": check_docstrings,
     "quickstart": check_quickstart,
+    "tools": check_tools,
 }
 
 
 def main(argv: list[str]) -> int:
+    """Run the requested checks (all by default); 0 iff all pass."""
     sys.path.insert(0, str(ROOT / "src"))
     names = argv or list(CHECKS)
     unknown = [n for n in names if n not in CHECKS]
