@@ -29,6 +29,15 @@ tracker, benchmarks):
 * :mod:`repro.obs.history` — append-only benchmark perf-trajectory
   files and the regression comparator behind ``tools/bench_track.py``.
 * :mod:`repro.obs.reporting` — the shared benchmark reporter.
+* :mod:`repro.obs.live` — live telemetry: the bucketed
+  :class:`RollingWindow` of per-(graph, backend, outcome) rates and
+  streaming latency quantiles fed from the service completion path,
+  plus the :class:`ResourceSampler` background task (event-loop lag,
+  RSS, GC, queue depth, executor occupancy).
+* :mod:`repro.obs.slo` — declarative :class:`SLO` objectives evaluated
+  against the rolling window into typed ok/warn/breach verdicts with
+  error-budget burn rate and a bounded transition-alert ring, surfaced
+  on ``/healthz`` and the ``/v1/debug/stream`` telemetry push.
 
 The cost contract (see :mod:`repro.obs.config`): plain counters always
 record; timing instrumentation records only while observability is
@@ -50,6 +59,7 @@ from .export import (
     flight_payload,
     record_to_dict,
     slow_payload,
+    telemetry_payload,
     trace_payload,
 )
 from .flight import (
@@ -75,6 +85,10 @@ from .kernels import (
     kernel_profiler,
     maybe_profile,
 )
+from .live import (
+    ResourceSampler,
+    RollingWindow,
+)
 from .metrics import (
     Counter,
     CounterDict,
@@ -82,6 +96,11 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+)
+from .slo import (
+    SLO,
+    SLOEngine,
+    SLOVerdict,
 )
 from .reporting import BenchReporter
 from .trace import (
@@ -108,6 +127,11 @@ __all__ = [
     "OBS_ENV",
     "ProfiledBackend",
     "QueryRecord",
+    "ResourceSampler",
+    "RollingWindow",
+    "SLO",
+    "SLOEngine",
+    "SLOVerdict",
     "Span",
     "append_entry",
     "attach_or_record",
@@ -133,6 +157,7 @@ __all__ = [
     "slow_payload",
     "stages_from_span",
     "start_span",
+    "telemetry_payload",
     "trace",
     "trace_payload",
     "use_span",

@@ -16,7 +16,7 @@ vocabulary:
   asks for it (the timeline endpoint), never in the bulk listings.
 * :func:`flight_payload` / :func:`slow_payload` / :func:`trace_payload`
   — the response envelopes the debug endpoints serve, each carrying
-  ``{"v": 1, ...}`` and a **bounded** record list (``limit`` is clamped
+  ``{"v": EXPORT_VERSION, ...}`` and a **bounded** record list (``limit`` is clamped
   to :data:`MAX_EXPORT_RECORDS` server-side, so a scrape can never ask
   the server to serialize an unbounded ring).
 
@@ -31,15 +31,19 @@ from .flight import FlightRecorder, QueryRecord
 __all__ = [
     "EXPORT_VERSION",
     "MAX_EXPORT_RECORDS",
+    "TELEMETRY_VERSION",
     "flight_payload",
     "knobs_to_dict",
     "record_to_dict",
     "slow_payload",
+    "telemetry_payload",
     "trace_payload",
 ]
 
 #: Version tag carried by every export envelope; bump on schema change.
-EXPORT_VERSION = 1
+#: v2: record ``wall_time`` renamed to ``unix_ts`` (wall-clock
+#: completion time for external-log correlation).
+EXPORT_VERSION = 2
 
 #: Hard server-side bound on records per export payload (a request may
 #: ask for fewer, never more).
@@ -47,6 +51,11 @@ MAX_EXPORT_RECORDS = 256
 
 #: Default records per listing payload when the request names no limit.
 DEFAULT_EXPORT_RECORDS = 64
+
+#: Version tag of the ``/v1/debug/stream`` telemetry delta frames
+#: (independent of :data:`EXPORT_VERSION` — the stream can evolve
+#: without invalidating stored flight exports).
+TELEMETRY_VERSION = 1
 
 
 def knobs_to_dict(knobs) -> dict | None:
@@ -83,7 +92,7 @@ def record_to_dict(rec: QueryRecord, *, spans: bool = False) -> dict:
         "stages": dict(rec.stages),
         "priority": int(rec.priority),
         "deadline": rec.deadline,
-        "wall_time": float(rec.wall_time),
+        "unix_ts": float(rec.unix_ts),
     }
     if spans:
         out["spans"] = rec.span.to_dict() if rec.span is not None else None
@@ -136,6 +145,44 @@ def slow_payload(
         "kind": "slow",
         "records": [record_to_dict(rec) for rec in records],
         "stats": recorder.stats(),
+    }
+
+
+def telemetry_payload(
+    telemetry: dict,
+    *,
+    seq: int,
+    unix_ts: float,
+    alerts: list | None = None,
+    gauges: dict | None = None,
+    draining: bool = False,
+) -> dict:
+    """One ``/v1/debug/stream`` delta frame: the envelope the stream
+    pusher sends per tick and :func:`WireClient.stream_telemetry
+    <repro.service.wire.client.stream_telemetry>` yields back decoded.
+
+    ``telemetry`` is :meth:`MixingService.telemetry
+    <repro.service.MixingService.telemetry>`'s dict (window snapshot +
+    SLO verdict + sampler values); ``seq`` numbers the frames of one
+    subscription (strictly increasing from 1 — a gap means the server
+    restarted the stream); ``alerts`` carries only the SLO transitions
+    this subscriber has not seen (the engine's cursor mechanism);
+    ``gauges`` adds the wire tier's own instantaneous numbers (queue
+    depth, live connections); ``draining`` flags a server in graceful
+    drain — the stream stays readable so an operator can watch the
+    drain complete.  Floats ride JSON's shortest round-trip ``repr``,
+    bitwise like every other wire payload."""
+    return {
+        "v": TELEMETRY_VERSION,
+        "kind": "telemetry",
+        "seq": int(seq),
+        "unix_ts": float(unix_ts),
+        "window": telemetry.get("window"),
+        "slo": telemetry.get("slo"),
+        "sampler": telemetry.get("sampler"),
+        "alerts": list(alerts or ()),
+        "gauges": dict(gauges or {}),
+        "draining": bool(draining),
     }
 
 

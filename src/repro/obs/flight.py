@@ -164,8 +164,9 @@ class QueryRecord:
     #: they never change what was computed, but they explain scheduling).
     priority: int = 0
     deadline: float | None = None
-    #: Unix wall-clock completion time (``time.time()``).
-    wall_time: float = 0.0
+    #: Unix wall-clock completion time (``time.time()``) so records
+    #: correlate with external logs; exported as ``"unix_ts"``.
+    unix_ts: float = 0.0
     #: Finished root span of the query timeline (tracing enabled only).
     span: object = None
 

@@ -321,6 +321,21 @@ class QueryCoalescer:
         while self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
 
+    @property
+    def depth(self) -> int:
+        """Queries currently waiting in un-flushed groups — the live
+        queue-depth gauge the resource sampler reads each tick (O(groups),
+        no lock: sampled from the event loop that also mutates it)."""
+        return sum(
+            len(w) for g in self._groups.values() for w in g.pending.values()
+        )
+
+    @property
+    def inflight_batches(self) -> int:
+        """Batch solves currently running on worker threads — the
+        executor-occupancy proxy the resource sampler samples."""
+        return len(self._tasks)
+
     def stats(self) -> dict:
         """Coalescing counters: ``queries``, ``batches`` (engine calls),
         flush-trigger breakdown, ``largest_batch``, and the derived

@@ -60,6 +60,8 @@ from repro.obs.flight import (
     kernels_from_span,
     stages_from_span,
 )
+from repro.obs.live import ResourceSampler, RollingWindow
+from repro.obs.slo import SLOEngine
 from repro.service.cache import ResultCache
 from repro.service.coalescer import QueryCoalescer
 from repro.service.errors import (
@@ -131,6 +133,21 @@ class MixingService:
     slow_threshold:
         Seconds at or above which a completed query is also admitted to
         the recorder's slow-query log.
+    live_buckets / live_bucket_width:
+        Geometry of the live :class:`~repro.obs.live.RollingWindow` fed
+        by the same completion path (default 60 × 1 s;
+        ``live_buckets=0`` disables live telemetry entirely; exposed as
+        :attr:`live`).
+    slo:
+        Optional :class:`~repro.obs.slo.SLO` objective; when given, an
+        :class:`~repro.obs.slo.SLOEngine` (exposed as
+        :attr:`slo_engine`) evaluates it against the rolling window —
+        requires live telemetry enabled.
+    sampler_interval:
+        Seconds between :class:`~repro.obs.live.ResourceSampler` ticks;
+        ``None`` (default) disables the sampler.  The sampler starts
+        lazily with the first :meth:`submit` (it needs a running event
+        loop) and stops on :meth:`aclose`.
     """
 
     def __init__(
@@ -144,11 +161,17 @@ class MixingService:
         n_workers: int | None = None,
         flight_capacity: int = 1024,
         slow_threshold: float = 0.25,
+        live_buckets: int = 60,
+        live_bucket_width: float = 1.0,
+        slo=None,
+        sampler_interval: float | None = None,
     ):
         if executor is not None and n_workers is not None:
             raise ValueError("pass either executor or n_workers, not both")
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if slo is not None and not live_buckets:
+            raise ValueError("an SLO needs live telemetry (live_buckets > 0)")
         self.registry = registry if registry is not None else GraphRegistry()
         # One shared registry for every component this service owns; the
         # graph registry (possibly caller-supplied, possibly shared by
@@ -190,6 +213,23 @@ class MixingService:
             "End-to-end seconds per submitted query (bucket exemplars "
             "carry flight-recorder trace ids).",
         )
+        #: The live rolling window of per-(graph, backend, outcome)
+        #: rates and streaming quantiles (``None`` when disabled) — what
+        #: ``/v1/debug/stream`` and the SLO engine read.
+        self.live = (
+            RollingWindow(live_buckets, width=live_bucket_width)
+            if live_buckets
+            else None
+        )
+        #: The SLO engine evaluating :attr:`live` (``None`` without an
+        #: ``slo=`` objective).
+        self.slo_engine = (
+            SLOEngine(slo, self.live, registry=self._metrics)
+            if slo is not None
+            else None
+        )
+        self._sampler_interval = sampler_interval
+        self._sampler: ResourceSampler | None = None
         self.registry.add_listener(self._on_graph_change)
 
     # ------------------------------------------------------------------ #
@@ -222,6 +262,8 @@ class MixingService:
         its own histogram with; omitted, the recorder assigns one."""
         if self._closed:
             raise ServiceClosedError("MixingService is closed")
+        if self._sampler_interval is not None and self._sampler is None:
+            self._start_sampler()
         tid = (
             trace_id if trace_id is not None else self.flight.next_trace_id()
         )
@@ -336,13 +378,20 @@ class MixingService:
         bucket exemplar and append the flight record — O(1) appends of
         numbers the pipeline already computed, never touching the result."""
         self._query_seconds.observe(dt, exemplar=tid)
+        g = state.get("graph")
+        if self.live is not None:
+            self.live.record(
+                dt,
+                graph=graph_key(g) if g is not None else None,
+                backend=state.get("backend"),
+                outcome=outcome,
+            )
         if not self.flight.enabled:
             return
         try:
             source = int(query.source)
         except (TypeError, ValueError):
             source = -1
-        g = state.get("graph")
         batch = None
         if qspan is not None:
             bspan = qspan.find("coalesced_batch")
@@ -366,7 +415,7 @@ class MixingService:
                 stages=stages_from_span(qspan),
                 priority=query.priority,
                 deadline=query.deadline,
-                wall_time=time.time(),
+                unix_ts=time.time(),
                 span=qspan,
             )
         )
@@ -467,13 +516,64 @@ class MixingService:
     # Lifecycle + stats
     # ------------------------------------------------------------------ #
 
+    def _start_sampler(self) -> None:
+        """Lazily start the resource sampler on the running loop (first
+        :meth:`submit`), wiring in the serving layer's own gauges:
+        coalescer queue depth, in-flight batch solves, and the attached
+        pool's worker count."""
+        self._sampler = ResourceSampler(
+            interval=self._sampler_interval,
+            registry=self._metrics,
+            sources={
+                "repro_runtime_coalescer_depth": lambda: (
+                    self._coalescer.depth
+                ),
+                "repro_runtime_inflight_batches": lambda: (
+                    self._coalescer.inflight_batches
+                ),
+                "repro_runtime_executor_workers": lambda: (
+                    self._executor.n_workers
+                    if self._executor is not None
+                    else 0
+                ),
+            },
+        ).start()
+
+    @property
+    def sampler(self) -> ResourceSampler | None:
+        """The running resource sampler (``None`` until the first
+        :meth:`submit` of a service configured with
+        ``sampler_interval``)."""
+        return self._sampler
+
+    def telemetry(self) -> dict:
+        """The live-telemetry view one ``/v1/debug/stream`` frame embeds:
+        the rolling-window :meth:`~repro.obs.live.RollingWindow.snapshot`,
+        the current SLO verdict (evaluating it — gauges and transition
+        alerts update as a side effect), and the latest resource-sampler
+        values.  Each part is ``None`` where the corresponding feature is
+        disabled."""
+        verdict = (
+            self.slo_engine.evaluate() if self.slo_engine is not None else None
+        )
+        return {
+            "window": self.live.snapshot() if self.live is not None else None,
+            "slo": verdict.to_dict() if verdict is not None else None,
+            "sampler": (
+                self._sampler.values() if self._sampler is not None else None
+            ),
+        }
+
     async def aclose(self) -> None:
         """Graceful shutdown: stop admitting, drain the coalescer (every
-        admitted query resolves), close an owned worker pool.  Idempotent."""
+        admitted query resolves), stop the resource sampler, close an
+        owned worker pool.  Idempotent."""
         if self._closed:
             return
         self._closed = True
         await self._coalescer.drain()
+        if self._sampler is not None:
+            await self._sampler.aclose()
         if self._owns_executor and self._executor is not None:
             self._executor.close()
             self._executor = None
@@ -511,4 +611,8 @@ class MixingService:
         }
         if self._executor is not None:
             out["executor"] = self._executor.stats()
+        if self.live is not None:
+            out["live"] = self.live.stats()
+        if self.slo_engine is not None:
+            out["slo"] = self.slo_engine.stats()
         return out

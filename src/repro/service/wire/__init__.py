@@ -8,10 +8,15 @@ protocol carries the full :class:`~repro.service.MixingQuery` knob space
 :class:`~repro.service.wire.server.WireServer` fronts the service with
 bounded admission with priority preemption, per-query deadlines threaded
 into the coalescer's flush timer, a verbatim Prometheus ``GET /metrics``
-endpoint, flight-recorder debug endpoints (``/v1/debug/flight`` /
-``/v1/debug/slow`` / ``/v1/debug/trace/<id>``), and graceful drain.
+endpoint, an SLO-aware ``/healthz`` (``?live=1`` bare-liveness fast
+path), flight-recorder debug endpoints (``/v1/debug/flight`` /
+``/v1/debug/slow`` / ``/v1/debug/trace/<id>``), a live-telemetry push
+stream (``/v1/debug/stream`` WebSocket — rolling-window snapshots, SLO
+alerts, runtime gauges; see :mod:`repro.obs.live` /
+:mod:`repro.obs.slo` and ``tools/obs_top.py``), and graceful drain.
 :mod:`repro.service.wire.client` is the matching client (one-shot HTTP,
-a multiplexing WebSocket session, and debug-endpoint helpers).
+a multiplexing WebSocket session, debug-endpoint helpers, and the
+:func:`~repro.service.wire.client.stream_telemetry` async iterator).
 
 The contract is the library-wide one: **the wire changes transport,
 never answers** — a result decoded off the socket is bitwise identical,
@@ -28,6 +33,7 @@ from repro.service.wire.client import (
     debug_trace,
     http_get,
     http_query,
+    stream_telemetry,
 )
 from repro.service.wire.protocol import (
     ERROR_STATUS,
@@ -47,4 +53,5 @@ __all__ = [
     "debug_trace",
     "http_get",
     "http_query",
+    "stream_telemetry",
 ]

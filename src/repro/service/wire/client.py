@@ -5,9 +5,11 @@ Two shapes, matching the two transports:
 * :func:`http_query` — one-shot: open a connection, ``POST /v1/query``,
   decode the answer (typed exceptions for error envelopes), close.
   Also :func:`http_get` for the plain-text endpoints (``/metrics``,
-  ``/healthz``) and the :func:`debug_flight` / :func:`debug_slow` /
+  ``/healthz``), the :func:`debug_flight` / :func:`debug_slow` /
   :func:`debug_trace` helpers for the server's flight-recorder debug
-  endpoints (decoded JSON in the :mod:`repro.obs.export` schema).
+  endpoints (decoded JSON in the :mod:`repro.obs.export` schema), and
+  :func:`stream_telemetry` — an async iterator over the server's
+  ``/v1/debug/stream`` live-telemetry push.
 * :class:`WireClient` — a persistent WebSocket session: queries are
   submitted concurrently over one socket, correlated back to their
   futures by the request ``id`` the server echoes (answers may arrive in
@@ -49,6 +51,7 @@ __all__ = [
     "debug_trace",
     "http_get",
     "http_query",
+    "stream_telemetry",
 ]
 
 
@@ -148,6 +151,75 @@ async def debug_trace(host: str, port: int, trace_id: str) -> dict:
     return await _debug_get(
         host, port, f"/v1/debug/trace/{quote(trace_id)}"
     )
+
+
+async def stream_telemetry(
+    host: str,
+    port: int,
+    *,
+    interval: float = 1.0,
+    max_frames: int | None = None,
+):
+    """Subscribe to ``GET /v1/debug/stream`` and yield decoded telemetry
+    delta frames (the :func:`repro.obs.export.telemetry_payload`
+    envelope: window snapshot, SLO verdict, unseen alerts, wire gauges,
+    sampler values) as an async iterator.
+
+    Opens its own connection — the subscription is observe-only on the
+    server, so it never counts against the query-path connection gauge
+    and keeps yielding during a server drain.  Stops after
+    ``max_frames`` frames (``None``: until the server closes or the
+    consumer breaks out; the generator's ``finally`` sends a client
+    close frame either way)::
+
+        async for frame in stream_telemetry(host, port, interval=0.5):
+            print(frame["seq"], frame["window"]["rate"])
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    key = base64.b64encode(os.urandom(16)).decode("latin-1")
+    path = f"/v1/debug/stream?interval={interval}"
+    try:
+        writer.write(
+            render_request(
+                "GET", path, host=f"{host}:{port}",
+                extra_headers=(
+                    ("Connection", "Upgrade"),
+                    ("Upgrade", "websocket"),
+                    ("Sec-WebSocket-Key", key),
+                    ("Sec-WebSocket-Version", "13"),
+                ),
+            )
+        )
+        await writer.drain()
+        response = await read_response(reader)
+        if (
+            response.method != "101"
+            or response.header("sec-websocket-accept") != ws_accept_key(key)
+        ):
+            raise HttpError(
+                f"telemetry stream handshake refused: {response.method} "
+                f"{response.path}"
+            )
+        served = 0
+        while max_frames is None or served < max_frames:
+            opcode, payload = await ws_read_message(
+                reader, writer, require_mask=False
+            )
+            if opcode == OP_CLOSE:
+                return
+            served += 1
+            yield protocol.loads(payload)
+    finally:
+        try:
+            writer.write(ws_encode_frame(OP_CLOSE, b"\x03\xe8", mask=True))
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
 
 async def http_query(host: str, port: int, query) -> object:
@@ -308,6 +380,16 @@ class WireClient:
                 await self._writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def stream_telemetry(
+        self, *, interval: float = 1.0, max_frames: int | None = None
+    ):
+        """The module-level :func:`stream_telemetry` against this
+        client's server (its own observe-only connection, independent of
+        the query session): an async iterator of telemetry frames."""
+        return stream_telemetry(
+            self.host, self.port, interval=interval, max_frames=max_frames
+        )
 
     async def __aenter__(self) -> "WireClient":
         """Connect and enter the session context."""

@@ -17,8 +17,21 @@ Routes
   (Prometheus text).  The wire layer's own counters are registered on a
   registry the service's composes in, so one scrape covers wire +
   cache + coalescer + registry + executor + kernel families.
-* ``GET /healthz`` — liveness JSON (status + queue depth + draining
-  flag).
+* ``GET /healthz`` — health JSON: ``status`` is ``ok`` / ``degraded``
+  (SLO breach — degraded is not dead) / ``draining``, plus the drain
+  flag, queue depth, the current SLO verdict and a rolling-window
+  summary.  ``?live=1`` short-circuits to the bare liveness probe
+  (``{"status": "ok"}``) with none of the evaluation cost.
+* ``GET /v1/debug/stream`` — observe-only WebSocket push: versioned
+  JSON telemetry delta frames (rolling-window snapshot, SLO verdict +
+  new transition alerts, queue-depth/connection gauges, resource-sampler
+  values) every ``?interval=`` seconds (default 1 s).  Like the other
+  debug paths it is excluded from the connection gauge and stays
+  readable during drain — an operator can watch the drain complete;
+  the stream closes with a proper close frame when the server does.
+  :func:`~repro.service.wire.client.stream_telemetry` (and
+  ``WireClient.stream_telemetry``) is the client half;
+  ``tools/obs_top.py`` a terminal dashboard on top.
 * ``GET /v1/debug/flight`` / ``/v1/debug/slow`` /
   ``/v1/debug/trace/<id>`` — the service's flight recorder
   (:mod:`repro.obs.flight`) in the stable export schema
@@ -198,6 +211,14 @@ class WireServer:
             "Debug-endpoint requests served.",
             labels=("endpoint",),
         )
+        self._stream_subscribers = self.metrics.gauge(
+            "repro_wire_stream_subscribers",
+            "Open /v1/debug/stream telemetry subscriptions.",
+        )
+        self._stream_frames = self.metrics.counter(
+            "repro_wire_stream_frames_total",
+            "Telemetry delta frames pushed to stream subscribers.",
+        )
         # One scrape covers everything: /metrics serves the *service's*
         # composed registry verbatim, and these counters ride along.
         service.metrics.include(self.metrics)
@@ -275,6 +296,8 @@ class WireServer:
             "preempted": self._preempted.value,
             "queue_depth": self._pending,
             "connections": self._connections.value,
+            "stream_subscribers": self._stream_subscribers.value,
+            "stream_frames": self._stream_frames.value,
         }
 
     # ------------------------------------------------------------------ #
@@ -456,6 +479,12 @@ class WireServer:
             if request is None:
                 return
             if self._is_ws_upgrade(request):
+                if request.path.split("?", 1)[0] == self._STREAM_PATH:
+                    # Observe-only, like the other debug paths: a
+                    # telemetry subscriber never joins the connection
+                    # gauge and stays served during drain.
+                    await self._stream_session(reader, writer, request)
+                    return
                 self._count_conn(conn_state)
                 await self._ws_session(reader, writer, request)
                 return
@@ -486,14 +515,7 @@ class WireServer:
                 "text/plain; version=0.0.4",
             )
         if path == "/healthz" and method == "GET":
-            body = protocol.dumps(
-                {
-                    "status": "draining" if self._draining else "ok",
-                    "queue_depth": self._pending,
-                    "max_pending": self.max_pending,
-                }
-            )
-            return 200, body, "application/json"
+            return 200, self._healthz_body(request), "application/json"
         if path.startswith(self._OBSERVE_PREFIX) and method == "GET":
             return self._route_debug(request, path)
         if path == "/v1/query":
@@ -528,6 +550,49 @@ class WireServer:
                 )
             ),
             "application/json",
+        )
+
+    def _healthz_body(self, request: Request) -> bytes:
+        """The ``/healthz`` response body.  ``?live=1`` is the bare
+        liveness fast path — a constant ``{"status": "ok"}`` with no SLO
+        evaluation, for probes that only ask "is the process serving".
+        The full body reports ``status`` (``draining`` / ``degraded`` on
+        an SLO breach / ``ok`` — degraded is not dead, so the HTTP
+        status stays 200 and readiness policy is the caller's), the
+        drain flag, queue occupancy, the SLO verdict, and a
+        rolling-window summary."""
+        params = parse_qs(request.path.partition("?")[2])
+        if params.get("live"):
+            return protocol.dumps({"status": "ok"})
+        engine = getattr(self.service, "slo_engine", None)
+        verdict = engine.evaluate().to_dict() if engine is not None else None
+        live = getattr(self.service, "live", None)
+        window = None
+        if live is not None:
+            snap = live.snapshot()
+            window = {
+                "count": snap["count"],
+                "errors": snap["errors"],
+                "rate": snap["rate"],
+                "error_rate": snap["error_rate"],
+                "quantiles": snap["quantiles"],
+                "covered": snap["covered"],
+            }
+        if self._draining:
+            status = "draining"
+        elif verdict is not None and verdict["status"] == "breach":
+            status = "degraded"
+        else:
+            status = "ok"
+        return protocol.dumps(
+            {
+                "status": status,
+                "draining": self._draining,
+                "queue_depth": self._pending,
+                "max_pending": self.max_pending,
+                "slo": verdict,
+                "window": window,
+            }
         )
 
     def _route_debug(self, request: Request, path: str) -> tuple[int, bytes, str]:
@@ -574,6 +639,17 @@ class WireServer:
                 backend=param("backend"),
             )
             return 200, protocol.dumps(payload), "application/json"
+        if path == self._STREAM_PATH:
+            return (
+                426,
+                protocol.dumps(
+                    protocol.encode_error_response(
+                        None, "bad_request",
+                        f"{self._STREAM_PATH} requires a WebSocket upgrade",
+                    )
+                ),
+                "application/json",
+            )
         trace_prefix = self._OBSERVE_PREFIX + "trace/"
         if path.startswith(trace_prefix):
             self._debug_requests.labels(endpoint="trace").inc()
@@ -602,19 +678,21 @@ class WireServer:
     # WebSocket session
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _is_ws_upgrade(request: Request) -> bool:
+    #: The telemetry-push WebSocket path (observe-only, like the other
+    #: ``/v1/debug/`` routes).
+    _STREAM_PATH = "/v1/debug/stream"
+
+    @classmethod
+    def _is_ws_upgrade(cls, request: Request) -> bool:
         return (
             "upgrade" in request.header("connection").lower()
             and request.header("upgrade").lower() == "websocket"
-            and request.path.split("?", 1)[0] == "/v1/ws"
+            and request.path.split("?", 1)[0] in ("/v1/ws", cls._STREAM_PATH)
         )
 
-    async def _ws_session(self, reader, writer, request: Request) -> None:
-        """One upgraded WebSocket connection: every text frame is an
-        independent protocol request answered concurrently (a response
-        frame carries the request's ``id``); the session ends on a close
-        frame, peer EOF, or server drain."""
+    async def _ws_handshake(self, writer, request: Request) -> bool:
+        """Answer one WebSocket upgrade (101 + accept key); False (after
+        a 400) when the client sent no ``Sec-WebSocket-Key``."""
         key = request.header("sec-websocket-key")
         if not key:
             writer.write(
@@ -622,7 +700,7 @@ class WireServer:
                                 content_type="text/plain", keep_alive=False)
             )
             await writer.drain()
-            return
+            return False
         writer.write(
             render_response(
                 101,
@@ -636,6 +714,15 @@ class WireServer:
             )
         )
         await writer.drain()
+        return True
+
+    async def _ws_session(self, reader, writer, request: Request) -> None:
+        """One upgraded WebSocket connection: every text frame is an
+        independent protocol request answered concurrently (a response
+        frame carries the request's ``id``); the session ends on a close
+        frame, peer EOF, or server drain."""
+        if not await self._ws_handshake(writer, request):
+            return
         send_lock = asyncio.Lock()
         inflight: set[asyncio.Task] = set()
 
@@ -678,3 +765,98 @@ class WireServer:
                     await writer.drain()
             except (ConnectionError, RuntimeError, OSError):
                 pass
+
+    # ------------------------------------------------------------------ #
+    # Telemetry push stream
+    # ------------------------------------------------------------------ #
+
+    #: Clamp bounds for the subscriber-chosen push interval (seconds).
+    _STREAM_MIN_INTERVAL = 0.05
+    _STREAM_MAX_INTERVAL = 60.0
+
+    def _telemetry_frame(self, seq: int, alert_cursor: int) -> tuple[dict, int]:
+        """Build one telemetry delta frame: the service's live view
+        (window snapshot + SLO verdict + sampler values), the SLO
+        transition alerts this subscriber has not seen (advancing its
+        cursor), and the wire tier's own instantaneous gauges."""
+        telemetry_of = getattr(self.service, "telemetry", None)
+        telemetry = telemetry_of() if telemetry_of is not None else {}
+        alerts: list = []
+        engine = getattr(self.service, "slo_engine", None)
+        if engine is not None:
+            alerts, alert_cursor = engine.alerts(alert_cursor)
+        frame = flight_export.telemetry_payload(
+            telemetry,
+            seq=seq,
+            unix_ts=time.time(),
+            alerts=alerts,
+            gauges={
+                "queue_depth": self._pending,
+                "connections": self._connections.value,
+                "max_pending": self.max_pending,
+                "stream_subscribers": self._stream_subscribers.value,
+            },
+            draining=self._draining,
+        )
+        return frame, alert_cursor
+
+    async def _stream_session(self, reader, writer, request: Request) -> None:
+        """One ``GET /v1/debug/stream`` subscription: push a versioned
+        telemetry delta frame every ``?interval=`` seconds (clamped)
+        until the client sends a close frame, disconnects, or the server
+        finishes draining (the stream stays live *during* the drain —
+        :meth:`aclose` cancels subscriber connections only after the
+        last query is answered — and closes with a proper close frame)."""
+        params = parse_qs(request.path.partition("?")[2])
+        try:
+            interval = float(params.get("interval", ["1.0"])[-1])
+        except ValueError:
+            interval = 1.0
+        interval = min(
+            max(interval, self._STREAM_MIN_INTERVAL),
+            self._STREAM_MAX_INTERVAL,
+        )
+        if not await self._ws_handshake(writer, request):
+            return
+        self._debug_requests.labels(endpoint="stream").inc()
+        self._stream_subscribers.inc()
+        closed = asyncio.ensure_future(self._stream_watch(reader, writer))
+        seq = 0
+        alert_cursor = 0
+        try:
+            while not closed.done():
+                seq += 1
+                frame, alert_cursor = self._telemetry_frame(seq, alert_cursor)
+                writer.write(ws_encode_frame(OP_TEXT, protocol.dumps(frame)))
+                await writer.drain()
+                self._stream_frames.inc()
+                await asyncio.wait({closed}, timeout=interval)
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # subscriber went away mid-push
+        finally:
+            self._stream_subscribers.inc(-1)
+            closed.cancel()
+            await asyncio.gather(closed, return_exceptions=True)
+            try:
+                writer.write(ws_encode_frame(OP_CLOSE, b"\x03\xe8"))
+                await writer.drain()
+            except (
+                ConnectionError, RuntimeError, OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    @staticmethod
+    async def _stream_watch(reader, writer) -> None:
+        """Await the subscriber's close: reads (and discards) incoming
+        frames — answering pings inline — until a close frame or EOF.
+        The push loop wakes as soon as this task completes."""
+        try:
+            while True:
+                opcode, _payload = await ws_read_message(
+                    reader, writer, require_mask=True
+                )
+                if opcode == OP_CLOSE:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            return

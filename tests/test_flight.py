@@ -257,7 +257,7 @@ class TestServiceFeed:
             assert rec.graph == gkey
             assert rec.trace_id.startswith("q-")
             assert rec.knobs is not None
-            assert rec.duration >= 0.0 and rec.wall_time > 0.0
+            assert rec.duration >= 0.0 and rec.unix_ts > 0.0
             if rec.cache == "miss":  # only a solve resolves a backend
                 assert rec.backend is not None
         # The typed failures resolved their graph (or didn't) as far as
@@ -347,7 +347,7 @@ class TestExport:
             stages={"engine_solve": 5e-324},  # smallest subnormal
             priority=2,
             deadline=0.25,
-            wall_time=1.7e308,
+            unix_ts=1.7e308,
         )
         d = record_to_dict(rec)
         back = json.loads(json.dumps(d))

@@ -1,0 +1,217 @@
+"""The observability configuration matrix.
+
+Pins the three ways the switch is set and how they compose:
+
+* ``REPRO_OBS`` environment values, read once at import — exercised in
+  subprocesses so each case gets a genuinely fresh import (nonempty and
+  not ``"0"`` means on; unset / empty / ``"0"`` mean off).
+* Programmatic :func:`set_observability` *overrides* the environment —
+  it is the later write to the same process-wide flag.
+* Mid-stream toggling: flipping the switch between queries on one live
+  service changes only what is *recorded* (traces appear exactly for
+  the enabled queries) and never what is *computed* (results stay
+  bitwise identical throughout).
+* Disabled-mode cost: the whole instrumentation surface collapses to
+  one boolean check — proven by making span construction explode and
+  running the full engine + service path with the switch off.
+"""
+
+import asyncio
+import importlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import batched_local_mixing_times
+from repro.graphs.generators import random_regular
+from repro.obs import (
+    clear_traces,
+    observability,
+    recent_traces,
+    set_observability,
+)
+# ``repro.obs`` re-exports the ``trace`` *function*, which shadows the
+# submodule on attribute access — go through the module system directly.
+trace_mod = importlib.import_module("repro.obs.trace")
+from repro.service import GraphRegistry, MixingQuery, MixingService
+
+BETA = 4.0
+EPS = 0.25
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """Every test starts disabled with an empty trace sink, and leaves
+    the global switch the way it found it."""
+    prev = set_observability(False)
+    clear_traces()
+    yield
+    set_observability(prev)
+    clear_traces()
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return random_regular(24, 4, seed=7)
+
+
+def _probe_subprocess(env_value, program):
+    """Run ``program`` in a fresh interpreter with ``REPRO_OBS`` set to
+    ``env_value`` (or unset for ``None``) and return its stdout."""
+    env = {
+        k: v for k, v in os.environ.items() if k != "REPRO_OBS"
+    }
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if env_value is not None:
+        env["REPRO_OBS"] = env_value
+    out = subprocess.run(
+        [sys.executable, "-c", program],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+# --------------------------------------------------------------------- #
+# Environment matrix (fresh import per case)
+# --------------------------------------------------------------------- #
+
+
+class TestEnvironmentMatrix:
+    @pytest.mark.parametrize(
+        "env_value,expected",
+        [
+            (None, "False"),   # unset: default off
+            ("", "False"),     # empty: off
+            ("0", "False"),    # explicit off
+            ("1", "True"),     # the documented enable
+            ("true", "True"),  # any other nonempty value enables
+        ],
+    )
+    def test_env_value_read_once_at_import(self, env_value, expected):
+        got = _probe_subprocess(
+            env_value,
+            "from repro.obs import observability_enabled;"
+            "print(observability_enabled())",
+        )
+        assert got == expected
+
+    def test_programmatic_switch_overrides_environment(self):
+        """``set_observability`` wins over ``REPRO_OBS`` in both
+        directions — it is simply the later write."""
+        got = _probe_subprocess(
+            "1",
+            "from repro.obs import observability_enabled, set_observability;"
+            "prev = set_observability(False);"
+            "print(prev, observability_enabled());"
+            "set_observability(True);"
+            "print(observability_enabled())",
+        )
+        assert got.splitlines() == ["True False", "True"]
+
+    def test_env_enabled_process_actually_records(self, small_graph):
+        """Not just the flag: a REPRO_OBS=1 process records real spans
+        for an engine call, and an unset process records none."""
+        program = (
+            "from repro.graphs.generators import random_regular\n"
+            "from repro.engine import batched_local_mixing_times\n"
+            "from repro.obs import recent_traces\n"
+            "g = random_regular(24, 4, seed=7)\n"
+            "batched_local_mixing_times(g, 4.0, 0.25)\n"
+            "print(len(recent_traces()))\n"
+        )
+        assert int(_probe_subprocess("1", program)) > 0
+        assert int(_probe_subprocess(None, program)) == 0
+
+
+# --------------------------------------------------------------------- #
+# Mid-stream toggling on a live service
+# --------------------------------------------------------------------- #
+
+
+class TestMidStreamToggle:
+    def test_toggle_changes_recording_never_results(self, small_graph):
+        direct = batched_local_mixing_times(small_graph, BETA, EPS)
+
+        async def main():
+            reg = GraphRegistry()
+            reg.register("g", small_graph)
+            async with MixingService(
+                registry=reg, window=0.0, cache_size=0
+            ) as svc:
+                r_off1 = await svc.submit(
+                    MixingQuery("g", 0, beta=BETA, eps=EPS)
+                )
+                assert recent_traces() == []
+                set_observability(True)
+                r_on = await svc.submit(
+                    MixingQuery("g", 1, beta=BETA, eps=EPS)
+                )
+                traced = recent_traces()
+                set_observability(False)
+                r_off2 = await svc.submit(
+                    MixingQuery("g", 2, beta=BETA, eps=EPS)
+                )
+                return r_off1, r_on, r_off2, traced
+
+        r_off1, r_on, r_off2, traced = asyncio.run(main())
+        # Only the enabled query produced a trace...
+        assert len(traced) == 1
+        assert traced[0].name == "query"
+        assert recent_traces() == traced  # ...and the later off query none
+        # ...and every answer matches the direct engine call bitwise.
+        assert [r_off1, r_on, r_off2] == direct[:3]
+
+    def test_scoped_context_manager_restores(self, small_graph):
+        direct = batched_local_mixing_times(small_graph, BETA, EPS)
+        with observability(True):
+            with observability(False):
+                r = batched_local_mixing_times(small_graph, BETA, EPS)
+                assert recent_traces() == []
+            # Inner scope restored the outer enable.
+            from repro.obs import observability_enabled
+
+            assert observability_enabled()
+        assert r == direct
+
+
+# --------------------------------------------------------------------- #
+# Disabled-mode cost: one boolean check, zero object traffic
+# --------------------------------------------------------------------- #
+
+
+class TestDisabledCost:
+    def test_no_span_is_ever_constructed_while_disabled(
+        self, small_graph, monkeypatch
+    ):
+        """Replace span construction with a landmine: with the switch
+        off, the full engine + service path must never touch it — every
+        instrumentation site must short-circuit on the boolean."""
+
+        class ExplodingSpan:
+            def __init__(self, *a, **kw):
+                raise AssertionError(
+                    "Span constructed while observability is disabled"
+                )
+
+        monkeypatch.setattr(trace_mod, "Span", ExplodingSpan)
+        direct = batched_local_mixing_times(small_graph, BETA, EPS)
+
+        async def main():
+            reg = GraphRegistry()
+            reg.register("g", small_graph)
+            async with MixingService(registry=reg, window=0.0) as svc:
+                return await svc.submit(
+                    MixingQuery("g", 0, beta=BETA, eps=EPS)
+                )
+
+        assert asyncio.run(main()) == direct[0]
+        # Sentinel validity: the landmine *does* trip once enabled.
+        set_observability(True)
+        with pytest.raises(AssertionError, match="Span constructed"):
+            with trace_mod.trace("query"):
+                pass

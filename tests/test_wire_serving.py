@@ -29,7 +29,7 @@ import pytest
 from repro.engine import batched_local_mixing_times
 from repro.graphs import generators as gen
 from repro.obs import observability
-from repro.obs.export import MAX_EXPORT_RECORDS
+from repro.obs.export import EXPORT_VERSION, MAX_EXPORT_RECORDS
 from repro.service import GraphRegistry, MixingQuery, MixingService
 from repro.service import ServiceClosedError
 from repro.service.wire import (
@@ -171,7 +171,7 @@ class TestDebugEndpoints:
             return flight, slow, tid, timeline, stats
 
         flight, slow, tid, timeline, stats = asyncio.run(main())
-        assert flight["v"] == 1 and flight["kind"] == "flight"
+        assert flight["v"] == EXPORT_VERSION and flight["kind"] == "flight"
         assert len(flight["records"]) == 6
         assert flight["stats"]["records"] == 6
         for rec in flight["records"]:
